@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- fig2 fig9 ablation --chain-size 200
+
+examples:
+	dune build examples
+	dune exec examples/quickstart.exe
+	dune exec examples/blog_platform.exe
+	dune exec examples/partitioned_person.exe
+	dune exec examples/evolution_session.exe
+	dune exec examples/update_session.exe
+
+clean:
+	dune clean
+
+.PHONY: all test bench bench-quick examples clean
