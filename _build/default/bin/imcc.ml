@@ -1,0 +1,410 @@
+(* imcc — the incremental mapping compiler, on the command line.
+
+   The tool operates on built-in evaluation models (-m) or on model files in
+   the surface syntax (-f, see lib/surface/parser.mli and examples/models):
+
+     imcc models                        list the built-in models
+     imcc show    (-m MODEL | -f FILE)  print schemas / fragments / views
+     imcc compile (-m MODEL | -f FILE) [-o state.imcs]
+                                        full compilation; optionally persist
+                                        the compiled state
+     imcc evolve  (-m MODEL [-s SMO] | -f FILE --script CHANGES.smo [-o OUT])
+                                        apply SMOs incrementally, timed
+     imcc roundtrip (-m MODEL | -f FILE) [-n N]
+                                        empirical roundtrip check
+
+   A -f FILE may be a model file (client/store/mapping sections) or a
+   compiled state saved by `imcc compile -o` / `imcc evolve -o`; compiled
+   states resume without re-running the full compiler — the workflow of the
+   paper's Fig. 7. *)
+
+open Cmdliner
+
+let ok = function Ok x -> x | Error e -> Printf.eprintf "error: %s\n" e; exit 1
+
+(* -- model registry -------------------------------------------------------- *)
+
+type model = {
+  mname : string;
+  describe : string;
+  load : size:int -> Query.Env.t * Mapping.Fragments.t;
+  suite : (size:int -> (string * Core.Smo.t) list) option;
+}
+
+let models =
+  [
+    { mname = "paper"; describe = "the running example of Figs. 1/5 (stage 4)";
+      load = (fun ~size:_ ->
+        let s = Workload.Paper_example.stage4 in
+        (s.Workload.Paper_example.env, s.Workload.Paper_example.fragments));
+      suite = None };
+    { mname = "chain"; describe = "the chain model of Fig. 8 (scaled by --size, default 100)";
+      load = (fun ~size -> Workload.Chain.generate ~size);
+      suite = Some (fun ~size -> Workload.Chain.smo_suite ~at:(max 1 (size / 2))) };
+    { mname = "hub-rim"; describe = "the hub-and-rim model of Fig. 3 (N=2, M=3, TPH)";
+      load = (fun ~size:_ -> Workload.Hub_rim.generate ~n:2 ~m:3 ~style:`Tph);
+      suite = None };
+    { mname = "hub-rim-tpt"; describe = "hub-and-rim mapped table-per-type";
+      load = (fun ~size:_ -> Workload.Hub_rim.generate ~n:2 ~m:3 ~style:`Tpt);
+      suite = None };
+    { mname = "customer"; describe = Workload.Customer.stats ();
+      load = (fun ~size:_ -> Workload.Customer.generate ());
+      suite = Some (fun ~size:_ -> Workload.Customer.smo_suite ()) };
+  ]
+
+let find_model name =
+  match List.find_opt (fun m -> m.mname = name) models with
+  | Some m -> m
+  | None ->
+      Printf.eprintf "unknown model %s (try `imcc models`)\n" name;
+      exit 1
+
+let model_arg =
+  let doc = "Built-in model to operate on (see `imcc models`)." in
+  Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let file_arg =
+  let doc = "Model file (.imc) or compiled state (.imcs) to operate on." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let out_arg =
+  let doc = "Write the compiled state to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> s
+  | exception Sys_error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+let write_file path s = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc s)
+
+let looks_like_state text =
+  let rec first i =
+    if i >= String.length text then false
+    else match text.[i] with ' ' | '\n' | '\t' | '\r' -> first (i + 1) | c -> c = '('
+  in
+  first 0
+
+(* Load either a built-in model or a file; returns the environment and
+   fragments, plus the compiled state when the file already carries views. *)
+let load_input ~model ~file ~size =
+  match model, file with
+  | Some name, None ->
+      let m = find_model name in
+      let env, frags = m.load ~size in
+      (env, frags, None)
+  | None, Some path ->
+      let text = read_file path in
+      if looks_like_state text then begin
+        let st = ok (Surface.State_io.load text) in
+        (st.Core.State.env, st.Core.State.fragments, Some st)
+      end
+      else begin
+        let ast = ok (Surface.Parser.model text) in
+        let env, frags = ok (Surface.Elaborate.model ast) in
+        (env, frags, None)
+      end
+  | Some _, Some _ ->
+      Printf.eprintf "error: pass either -m or -f, not both\n";
+      exit 1
+  | None, None ->
+      Printf.eprintf "error: pass -m MODEL or -f FILE\n";
+      exit 1
+
+let state_of ~env ~frags = function
+  | Some st -> st
+  | None -> Core.State.of_compiled env frags (ok (Fullc.Compile.compile env frags))
+
+let size_arg =
+  let doc = "Size parameter for scalable models (the chain's type count)." in
+  Arg.(value & opt int 100 & info [ "size" ] ~docv:"N" ~doc)
+
+(* -- commands --------------------------------------------------------------- *)
+
+let models_cmd =
+  let run () =
+    List.iter (fun m -> Printf.printf "%-12s %s\n" m.mname m.describe) models
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the built-in models") Term.(const run $ const ())
+
+let show_cmd =
+  let schemas =
+    Arg.(value & flag & info [ "schemas" ] ~doc:"Print the client and store schemas.")
+  in
+  let fragments = Arg.(value & flag & info [ "fragments" ] ~doc:"Print the mapping fragments.") in
+  let views =
+    Arg.(value & flag & info [ "views" ] ~doc:"Compile and print the query and update views.")
+  in
+  let run name file size schemas fragments views =
+    let env, frags, _ = load_input ~model:name ~file ~size in
+    let all = not (schemas || fragments || views) in
+    if schemas || all then
+      Format.printf "== client schema ==@.%a@.@.== store schema ==@.%a@.@." Edm.Schema.pp
+        env.Query.Env.client Relational.Schema.pp env.Query.Env.store;
+    if fragments || all then Format.printf "== mapping fragments ==@.%a@.@." Mapping.Fragments.pp frags;
+    if views then begin
+      let c = ok (Fullc.Compile.compile env frags) in
+      Format.printf "== query views ==@.%a@.@.== update views ==@.%a@." Query.Pretty.query_views
+        c.Fullc.Compile.query_views Query.Pretty.update_views c.Fullc.Compile.update_views
+    end
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a model's schemas, fragments, or compiled views")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ schemas $ fragments $ views)
+
+let compile_cmd =
+  let no_validate =
+    Arg.(value & flag & info [ "no-validate" ] ~doc:"Skip validation (view generation only).")
+  in
+  let run name file size no_validate output =
+    let env, frags, _ = load_input ~model:name ~file ~size in
+    let what = match name, file with Some n, _ -> n | _, Some f -> f | _ -> "?" in
+    Containment.Stats.reset ();
+    let t0 = Unix.gettimeofday () in
+    let c = ok (Fullc.Compile.compile ~validate:(not no_validate) env frags) in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "full compilation of %s: %.3fs\n" what dt;
+    Printf.printf "  fragments:          %d\n" (Mapping.Fragments.size frags);
+    Printf.printf "  entity views:       %d\n"
+      (List.length (Query.View.entity_view_bindings c.Fullc.Compile.query_views));
+    Printf.printf "  update views:       %d\n"
+      (List.length (Query.View.update_view_bindings c.Fullc.Compile.update_views));
+    Printf.printf "  cells enumerated:   %d\n" c.Fullc.Compile.report.Fullc.Validate.cells_visited;
+    Printf.printf "  fk checks:          %d\n"
+      c.Fullc.Compile.report.Fullc.Validate.containment_checks;
+    Format.printf "  containment stats:  %a@." Containment.Stats.pp (Containment.Stats.read ());
+    match output with
+    | None -> ()
+    | Some path ->
+        write_file path (Surface.State_io.save (Core.State.of_compiled env frags c));
+        Printf.printf "compiled state written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Run the full (baseline) mapping compiler on a model")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ no_validate $ out_arg)
+
+let evolve_cmd =
+  let smo_name =
+    Arg.(value & opt (some string) None
+         & info [ "s"; "smo" ] ~docv:"SMO" ~doc:"Apply only the named SMO (e.g. AE-TPT).")
+  in
+  let script_arg =
+    Arg.(value & opt (some string) None
+         & info [ "script" ] ~docv:"FILE.smo" ~doc:"Apply the SMO script from this file.")
+  in
+  let run name file size smo_name script output =
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let t0 = Unix.gettimeofday () in
+    let st = state_of ~env ~frags loaded in
+    (match loaded with
+    | Some _ -> Printf.printf "resumed compiled state\n\n"
+    | None -> Printf.printf "bootstrap (full compilation): %.3fs\n\n" (Unix.gettimeofday () -. t0));
+    match script with
+    | Some path ->
+        let ast = ok (Surface.Parser.script (read_file path)) in
+        let smos = ok (Surface.Elaborate.script ast) in
+        let st =
+          List.fold_left
+            (fun st smo ->
+              match Core.Engine.apply_timed st smo with
+              | Ok (st', t) ->
+                  Format.printf "%-10s %.2f ms   %a@." (Core.Smo.name smo)
+                    (t.Core.Engine.seconds *. 1000.)
+                    Containment.Stats.pp t.Core.Engine.containment;
+                  st'
+              | Error e ->
+                  Printf.eprintf "error: %s aborts: %s\n" (Core.Smo.show smo) e;
+                  exit 1)
+            st smos
+        in
+        (match output with
+        | None -> ()
+        | Some path ->
+            write_file path (Surface.State_io.save st);
+            Printf.printf "evolved state written to %s\n" path)
+    | None ->
+        let suite =
+          match name with
+          | Some n -> (
+              match (find_model n).suite with
+              | Some s -> s ~size
+              | None ->
+                  Printf.eprintf "model %s has no SMO suite (try chain or customer)\n" n;
+                  exit 1)
+          | None ->
+              Printf.eprintf "with -f, pass --script FILE.smo\n";
+              exit 1
+        in
+        let selected =
+          match smo_name with
+          | None -> suite
+          | Some s -> List.filter (fun (l, _) -> l = s) suite
+        in
+        if selected = [] then begin
+          Printf.eprintf "unknown SMO; available: %s\n" (String.concat ", " (List.map fst suite));
+          exit 1
+        end;
+        List.iter
+          (fun (label, smo) ->
+            match Core.Engine.apply_timed st smo with
+            | Ok (_, t) ->
+                Format.printf "%-10s %.2f ms   %a@." label (t.Core.Engine.seconds *. 1000.)
+                  Containment.Stats.pp t.Core.Engine.containment
+            | Error e -> Printf.printf "%-10s aborts: %s\n" label e)
+          selected
+  in
+  Cmd.v
+    (Cmd.info "evolve" ~doc:"Apply SMOs (a built-in suite or a script file) incrementally")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ smo_name $ script_arg $ out_arg)
+
+let roundtrip_cmd =
+  let samples =
+    Arg.(value & opt int 50 & info [ "n"; "samples" ] ~docv:"N" ~doc:"Number of random states.")
+  in
+  let run name file size samples =
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let st = state_of ~env ~frags loaded in
+    match
+      Roundtrip.Check.roundtrips st.Core.State.env st.Core.State.query_views
+        st.Core.State.update_views ~samples ()
+    with
+    | Ok n -> Printf.printf "%d random client states roundtripped losslessly\n" n
+    | Error f ->
+        Format.printf "roundtrip FAILED:@.%a@." Roundtrip.Check.pp_failure f;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "roundtrip" ~doc:"Empirically check that the compiled mapping roundtrips")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ samples)
+
+let data_arg =
+  let doc = "Client-state literal file (a `data { ... }` block)." in
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"FILE" ~doc)
+
+let query_cmd =
+  let qtext =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"e.g. \"select Id, Name from Persons where is of Employee\"")
+  in
+  let run name file size data qtext =
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let st = state_of ~env ~frags loaded in
+    let env = st.Core.State.env in
+    let q_ast = ok (Surface.Parser.query qtext) in
+    let q = ok (Surface.Elaborate.query env q_ast) in
+    let unfolded = ok (Query.Unfold.client_query env st.Core.State.query_views q) in
+    Format.printf "-- client query@.%a@.@.-- unfolds over the store to@.%a@." Query.Pretty.query q
+      Query.Pretty.query unfolded;
+    match data with
+    | None -> ()
+    | Some path ->
+        let inst = ok (Surface.Elaborate.data env (ok (Surface.Parser.data (read_file path)))) in
+        let store = ok (Query.View.apply_update_views env st.Core.State.update_views inst) in
+        let client_rows = Query.Eval.rows_set env (Query.Eval.client_db inst) q in
+        let store_rows = Query.Eval.rows_set env (Query.Eval.store_db store) unfolded in
+        Format.printf "@.-- rows (over %s)@." path;
+        List.iter (fun r -> Format.printf "%a@." Datum.Row.pp r) client_rows;
+        Format.printf "@.client-side and store-side evaluation agree: %b@."
+          (List.equal Datum.Row.equal client_rows store_rows)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Translate (and optionally evaluate) a client query by view unfolding")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ qtext)
+
+let dml_cmd =
+  let script_arg =
+    Arg.(required & opt (some string) None
+         & info [ "script" ] ~docv:"FILE.dml" ~doc:"Client-side update script.")
+  in
+  let run name file size data script =
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let st = state_of ~env ~frags loaded in
+    let env = st.Core.State.env in
+    let inst =
+      match data with
+      | Some path -> ok (Surface.Elaborate.data env (ok (Surface.Parser.data (read_file path))))
+      | None -> Edm.Instance.empty
+    in
+    let delta = ok (Surface.Elaborate.dml (ok (Surface.Parser.dml (read_file script)))) in
+    let sql_script, _new_client, new_store =
+      ok (Dml.Translate.translate env st.Core.State.update_views ~old_client:inst ~delta)
+    in
+    Format.printf "-- translated DML@.%s@." (Dml.Translate.to_sql sql_script);
+    Format.printf "-- resulting store state@.%a@." Relational.Instance.pp new_store
+  in
+  Cmd.v
+    (Cmd.info "dml"
+       ~doc:"Translate a client-side update script into store DML through the update views")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ script_arg)
+
+let validate_cmd =
+  let run name file size =
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let st = state_of ~env ~frags loaded in
+    Containment.Stats.reset ();
+    let t0 = Unix.gettimeofday () in
+    match Fullc.Validate.run st.Core.State.env st.Core.State.fragments st.Core.State.update_views with
+    | Error e ->
+        Printf.printf "mapping INVALID: %s\n" e;
+        exit 1
+    | Ok report ->
+        Printf.printf "mapping valid (%.3fs)\n" (Unix.gettimeofday () -. t0);
+        Printf.printf "  cells enumerated:  %d\n" report.Fullc.Validate.cells_visited;
+        Printf.printf "  covered types:     %d\n" report.Fullc.Validate.covered_types;
+        Printf.printf "  fk checks:         %d\n" report.Fullc.Validate.containment_checks;
+        Format.printf "  containment stats: %a@." Containment.Stats.pp (Containment.Stats.read ())
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Run full mapping validation (roundtripping safety checks)")
+    Term.(const run $ model_arg $ file_arg $ size_arg)
+
+let diff_cmd =
+  let target_arg =
+    Arg.(required & opt (some string) None
+         & info [ "target" ] ~docv:"FILE.imc" ~doc:"The edited model (its client section).")
+  in
+  let run name file size target output =
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let st = state_of ~env ~frags loaded in
+    let target_ast = ok (Surface.Parser.model (read_file target)) in
+    (* Elaborate the target's client section against a permissive store: the
+       differ only needs the client schema. *)
+    let target_client =
+      match Surface.Elaborate.model target_ast with
+      | Ok (env', _) -> env'.Query.Env.client
+      | Error _ -> (
+          (* The target file may only make sense as a client section (its
+             mapping may be the old one); elaborate just the client. *)
+          match
+            Surface.Elaborate.model
+              { target_ast with Surface.Ast.tables = []; fragments = [] }
+          with
+          | Ok (env', _) -> env'.Query.Env.client
+          | Error e ->
+              Printf.eprintf "error: %s\n" e;
+              exit 1)
+    in
+    let smos = ok (Modef.Diff.infer st ~target:target_client) in
+    let text = Surface.Print_dsl.script smos in
+    print_string text;
+    match output with
+    | None -> ()
+    | Some path ->
+        write_file path text;
+        Printf.printf "// written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Infer an SMO script from an edited client model (the MoDEF workflow)")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ target_arg $ out_arg)
+
+let () =
+  let doc = "incremental compilation of object-to-relational mappings (SIGMOD'13)" in
+  let info = Cmd.info "imcc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ models_cmd; show_cmd; compile_cmd; evolve_cmd; roundtrip_cmd; query_cmd; dml_cmd;
+            validate_cmd; diff_cmd ]))

@@ -1,0 +1,1 @@
+examples/blog_platform.ml: Containment Core Datum Edm Format List Mapping Option Printf Query Relational Roundtrip

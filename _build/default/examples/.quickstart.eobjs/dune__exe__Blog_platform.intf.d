@@ -1,0 +1,1 @@
+examples/blog_platform.mli:

@@ -1,0 +1,1 @@
+examples/evolution_session.ml: Core Datum Edm Format List Modef Printf Query Relational Roundtrip Workload

@@ -1,0 +1,1 @@
+examples/partitioned_person.ml: Core Datum Edm Format Mapping Option Printf Query Relational

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Datum Edm Format Mapping Printf Query Relational

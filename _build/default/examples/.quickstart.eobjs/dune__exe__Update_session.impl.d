@@ -1,0 +1,1 @@
+examples/update_session.ml: Core Datum Dml Edm In_channel List Option Printf Query Relational Surface

@@ -1,0 +1,1 @@
+examples/update_session.mli:

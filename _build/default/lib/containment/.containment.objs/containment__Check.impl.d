@@ -1,0 +1,1 @@
+lib/containment/check.pp.ml: Datum Edm Hashtbl Int List Map Nf Query Relational Result Stats String

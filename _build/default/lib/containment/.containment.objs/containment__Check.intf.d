@@ -1,0 +1,1 @@
+lib/containment/check.pp.mli: Query

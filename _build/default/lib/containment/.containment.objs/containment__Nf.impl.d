@@ -1,0 +1,1 @@
+lib/containment/nf.pp.ml: Datum Edm Format Int List Map Option Ppx_deriving_runtime Query Relational Result Stdlib String

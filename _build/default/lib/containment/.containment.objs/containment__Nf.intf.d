@@ -1,0 +1,1 @@
+lib/containment/nf.pp.mli: Datum Format Query

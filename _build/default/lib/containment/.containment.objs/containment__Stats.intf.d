@@ -1,0 +1,1 @@
+lib/containment/stats.pp.mli: Format

@@ -1,0 +1,38 @@
+(** Query containment — the engine behind mapping validation.
+
+    Every validation step of both compilers reduces to containment tests
+    over project–select(–join–union) queries (Sections 1.1 and 3 of the
+    paper): roundtripping, key preservation, and the foreign-key checks 1–3
+    of [AddEntity]/[AddAssocFK].
+
+    The decision procedure is the classic UCQ one: normalize both sides
+    ({!Nf.normalize}), then show every conjunctive query of the subset side
+    admits a homomorphism from some conjunctive query of the superset side,
+    with atom-level entailment delegated to the constraint solver.  The
+    problem is NP-hard; DNF expansion and backtracking make the worst case
+    exponential, which is precisely the compilation cost the paper sets out
+    to avoid recomputing from scratch.
+
+    [Ok true] means containment is {e proven} (sound, also in the presence
+    of outer-join approximations).  [Ok false] means it could not be proven
+    — for validation this is treated conservatively as failure, mirroring
+    the paper's abort-on-failed-check behaviour. *)
+
+val subset : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> (bool, string) result
+(** [subset env q1 q2] tries to prove [q1 ⊆ q2] (set semantics) over all
+    database states admitted by [env]'s schemas. *)
+
+val equivalent : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> (bool, string) result
+
+val holds : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> bool
+(** [subset] collapsed to a conservative boolean: normalization errors count
+    as "not proven". *)
+
+val set_caching : bool -> unit
+(** Verdicts are memoized by (environment fingerprint, queries) — repeated
+    validation runs over the same mapping re-ask the same checks, and the
+    paper's Section 4.2 attributes most of the compilation time to them.
+    Off by default so that benchmark timings measure cold validation (the
+    paper's setting); enable it to measure the memoization ablation. *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,559 @@
+type term = V of int | C of Datum.Value.t [@@deriving eq, ord]
+
+type atom = { src : Query.Algebra.source; args : (string * term) list }
+
+type constr =
+  | Ty_in of int * string list
+  | Rel of int * Query.Cond.cmp * Datum.Value.t
+  | Null_c of int
+  | Not_null_c of int
+
+type cq = { head : (string * term) list; body : atom list; cons : constr list }
+type role = Subset_side | Superset_side
+type output = { cqs : cq list; approximate : bool }
+
+let pp_term fmt = function
+  | V i -> Format.fprintf fmt "x%d" i
+  | C v -> Format.pp_print_string fmt (Datum.Value.to_literal v)
+
+let pp_cq fmt cq =
+  let pp_arg fmt (c, t) = Format.fprintf fmt "%s:%a" c pp_term t in
+  let pp_args = Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ",") pp_arg in
+  let pp_atom fmt a = Format.fprintf fmt "%a(%a)" Query.Algebra.pp_source a.src pp_args a.args in
+  let pp_con fmt = function
+    | Ty_in (v, tys) -> Format.fprintf fmt "x%d∈{%s}" v (String.concat "," tys)
+    | Rel (v, op, c) -> Format.fprintf fmt "x%d %a %s" v Query.Cond.pp_cmp op (Datum.Value.to_literal c)
+    | Null_c v -> Format.fprintf fmt "x%d IS NULL" v
+    | Not_null_c v -> Format.fprintf fmt "x%d IS NOT NULL" v
+  in
+  Format.fprintf fmt "@[head(%a) :- %a | %a@]" pp_args cq.head
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_atom)
+    cq.body
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_con)
+    cq.cons
+
+(* ------------------------------------------------------------------ *)
+(* Constraint solving: per-variable consistency and entailment.        *)
+(* ------------------------------------------------------------------ *)
+
+module Int_map = Map.Make (Int)
+
+type info = {
+  types : string list option;                 (* intersection of Ty_in sets *)
+  eq : Datum.Value.t option;
+  neq : Datum.Value.t list;
+  lo : (Datum.Value.t * bool) option;         (* bound, strict *)
+  hi : (Datum.Value.t * bool) option;
+  null : bool;
+  notnull : bool;
+  inconsistent : bool;
+}
+
+let info0 =
+  { types = None; eq = None; neq = []; lo = None; hi = None; null = false; notnull = false;
+    inconsistent = false }
+
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+let tighten_lo cur (v, strict) =
+  match cur with
+  | None -> Some (v, strict)
+  | Some (v0, s0) ->
+      let c = Datum.Value.compare v v0 in
+      if c > 0 || (c = 0 && strict && not s0) then Some (v, strict) else Some (v0, s0)
+
+let tighten_hi cur (v, strict) =
+  match cur with
+  | None -> Some (v, strict)
+  | Some (v0, s0) ->
+      let c = Datum.Value.compare v v0 in
+      if c < 0 || (c = 0 && strict && not s0) then Some (v, strict) else Some (v0, s0)
+
+let add_info i = function
+  | Ty_in (_, tys) ->
+      let types = match i.types with None -> Some tys | Some t -> Some (inter t tys) in
+      { i with types }
+  | Null_c _ -> { i with null = true }
+  | Not_null_c _ -> { i with notnull = true }
+  | Rel (_, op, c) -> (
+      let i = { i with notnull = true } in
+      match op with
+      | Query.Cond.Eq -> (
+          match i.eq with
+          | None -> { i with eq = Some c }
+          | Some c0 -> if Datum.Value.equal c c0 then i else { i with inconsistent = true })
+      | Query.Cond.Neq -> { i with neq = c :: i.neq }
+      | Query.Cond.Lt -> { i with hi = tighten_hi i.hi (c, true) }
+      | Query.Cond.Le -> { i with hi = tighten_hi i.hi (c, false) }
+      | Query.Cond.Gt -> { i with lo = tighten_lo i.lo (c, true) }
+      | Query.Cond.Ge -> { i with lo = tighten_lo i.lo (c, false) })
+
+let var_of = function Ty_in (v, _) | Rel (v, _, _) | Null_c v | Not_null_c v -> v
+
+let infos cons =
+  List.fold_left
+    (fun m con ->
+      let v = var_of con in
+      let i = Option.value ~default:info0 (Int_map.find_opt v m) in
+      Int_map.add v (add_info i con) m)
+    Int_map.empty cons
+
+(* Integer strict bounds round inwards so that emptiness checks are exact on
+   Int; other domains keep strictness flags. *)
+let norm_bounds i =
+  let lo =
+    match i.lo with
+    | Some (Datum.Value.Int n, true) -> Some (Datum.Value.Int (n + 1), false)
+    | b -> b
+  in
+  let hi =
+    match i.hi with
+    | Some (Datum.Value.Int n, true) -> Some (Datum.Value.Int (n - 1), false)
+    | b -> b
+  in
+  { i with lo; hi }
+
+let in_bounds i v =
+  let ok_lo = match i.lo with
+    | None -> true
+    | Some (b, strict) ->
+        let c = Datum.Value.compare v b in
+        if strict then c > 0 else c >= 0
+  in
+  let ok_hi = match i.hi with
+    | None -> true
+    | Some (b, strict) ->
+        let c = Datum.Value.compare v b in
+        if strict then c < 0 else c <= 0
+  in
+  ok_lo && ok_hi
+
+let bool_candidates i =
+  List.filter
+    (fun v ->
+      in_bounds i v
+      && (not (List.exists (Datum.Value.equal v) i.neq))
+      && match i.eq with None -> true | Some e -> Datum.Value.equal e v)
+    [ Datum.Value.Bool false; Datum.Value.Bool true ]
+
+let is_bool_constrained i =
+  let is_bool = function Datum.Value.Bool _ -> true | _ -> false in
+  (match i.eq with Some v -> is_bool v | None -> false)
+  || List.exists is_bool i.neq
+  || (match i.lo with Some (v, _) -> is_bool v | None -> false)
+  || (match i.hi with Some (v, _) -> is_bool v | None -> false)
+
+let info_consistent i =
+  let i = norm_bounds i in
+  if i.inconsistent then false
+  else if i.null && i.notnull then false
+  else if i.types = Some [] then false
+  else
+    match i.eq with
+    | Some v -> in_bounds i v && not (List.exists (Datum.Value.equal v) i.neq)
+    | None -> (
+        let bounds_ok =
+          match i.lo, i.hi with
+          | Some (l, ls), Some (h, hs) ->
+              let c = Datum.Value.compare l h in
+              if ls || hs then c < 0 else c <= 0
+          | _ -> true
+        in
+        bounds_ok
+        &&
+        if is_bool_constrained i && i.notnull then bool_candidates i <> []
+        else true)
+
+let consistent cons = Int_map.for_all (fun _ i -> info_consistent i) (infos cons)
+
+let entails cons target =
+  let m = infos cons in
+  let i = norm_bounds (Option.value ~default:info0 (Int_map.find_opt (var_of target) m)) in
+  match target with
+  | Ty_in (_, tys) -> (
+      match i.types with Some ts -> List.for_all (fun t -> List.mem t tys) ts | None -> false)
+  | Null_c _ -> i.null
+  | Not_null_c _ -> i.notnull
+  | Rel (_, op, c) -> (
+      match i.eq with
+      | Some v -> Query.Cond.eval_cmp op v c
+      | None -> (
+          if not i.notnull then false
+          else
+            match op with
+            | Query.Cond.Lt -> (
+                match i.hi with
+                | Some (h, strict) ->
+                    let d = Datum.Value.compare h c in
+                    d < 0 || (d = 0 && strict)
+                | None -> false)
+            | Query.Cond.Le -> (
+                match i.hi with Some (h, _) -> Datum.Value.compare h c <= 0 | None -> false)
+            | Query.Cond.Gt -> (
+                match i.lo with
+                | Some (l, strict) ->
+                    let d = Datum.Value.compare l c in
+                    d > 0 || (d = 0 && strict)
+                | None -> false)
+            | Query.Cond.Ge -> (
+                match i.lo with Some (l, _) -> Datum.Value.compare l c >= 0 | None -> false)
+            | Query.Cond.Neq ->
+                List.exists (Datum.Value.equal c) i.neq || not (in_bounds i c)
+            | Query.Cond.Eq -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Normalization proper.                                               *)
+(* ------------------------------------------------------------------ *)
+
+type state = { bind : (string * term) list; body : atom list; cons : constr list }
+
+let ( let* ) = Result.bind
+
+let scan_state env counter src =
+  let* cols =
+    match Query.Algebra.infer env (Query.Algebra.Scan src) with
+    | Ok cols -> Ok cols
+    | Error e -> Error e
+  in
+  let bind =
+    List.map
+      (fun c ->
+        incr counter;
+        (c, V !counter))
+      cols
+  in
+  let var c = match List.assoc c bind with V v -> v | C _ -> assert false in
+  let seeds =
+    match src with
+    | Query.Algebra.Entity_set s ->
+        let root = Option.get (Edm.Schema.set_root env.Query.Env.client s) in
+        let key = Edm.Schema.key_of env.Query.Env.client root in
+        Ty_in (var Query.Env.type_column, Edm.Schema.subtypes env.Query.Env.client root)
+        :: List.map (fun k -> Not_null_c (var k)) key
+    | Query.Algebra.Assoc_set _ -> List.map (fun (c, _) -> Not_null_c (var c)) bind
+    | Query.Algebra.Table t ->
+        let tbl = Relational.Schema.get_table env.Query.Env.store t in
+        List.filter_map
+          (fun (col : Relational.Table.column) ->
+            if List.mem col.cname tbl.Relational.Table.key || not col.nullable then
+              Some (Not_null_c (var col.cname))
+            else None)
+          tbl.Relational.Table.columns
+  in
+  Ok { bind; body = [ { src; args = bind } ]; cons = seeds }
+
+exception Dead_state
+
+(* Apply one condition atom to a state; raises [Dead_state] when the atom is
+   decidedly false on the state's constant bindings. *)
+let apply_atom env st atom =
+  let term a =
+    match List.assoc_opt a st.bind with Some t -> t | None -> C Datum.Value.Null
+  in
+  match atom with
+  | Query.Cond.True -> st
+  | Query.Cond.False -> raise Dead_state
+  | Query.Cond.Is_of e -> (
+      match term Query.Env.type_column with
+      | V v -> { st with cons = Ty_in (v, Edm.Schema.subtypes env.Query.Env.client e) :: st.cons }
+      | C (Datum.Value.String ty) ->
+          if Edm.Schema.mem_type env.Query.Env.client ty
+             && Edm.Schema.is_subtype env.Query.Env.client ~sub:ty ~sup:e
+          then st
+          else raise Dead_state
+      | C _ -> raise Dead_state)
+  | Query.Cond.Is_of_only e -> (
+      match term Query.Env.type_column with
+      | V v -> { st with cons = Ty_in (v, [ e ]) :: st.cons }
+      | C (Datum.Value.String ty) -> if ty = e then st else raise Dead_state
+      | C _ -> raise Dead_state)
+  | Query.Cond.Is_null a -> (
+      match term a with
+      | V v -> { st with cons = Null_c v :: st.cons }
+      | C v -> if Datum.Value.is_null v then st else raise Dead_state)
+  | Query.Cond.Is_not_null a -> (
+      match term a with
+      | V v -> { st with cons = Not_null_c v :: st.cons }
+      | C v -> if Datum.Value.is_null v then raise Dead_state else st)
+  | Query.Cond.Cmp (a, op, c) -> (
+      match term a with
+      | V v -> { st with cons = Rel (v, op, c) :: st.cons }
+      | C v -> if Query.Cond.eval_cmp op v c then st else raise Dead_state)
+  | Query.Cond.And _ | Query.Cond.Or _ -> invalid_arg "apply_atom: non-atom"
+
+let subst_term ~from ~into t = if equal_term t (V from) then into else t
+
+let subst_state ~from ~into st =
+  let sub = subst_term ~from ~into in
+  {
+    bind = List.map (fun (c, t) -> (c, sub t)) st.bind;
+    body = List.map (fun a -> { a with args = List.map (fun (c, t) -> (c, sub t)) a.args }) st.body;
+    cons =
+      List.filter_map
+        (fun con ->
+          if var_of con <> from then Some con
+          else
+            match into, con with
+            | V v, Ty_in (_, tys) -> Some (Ty_in (v, tys))
+            | V v, Rel (_, op, c) -> Some (Rel (v, op, c))
+            | V v, Null_c _ -> Some (Null_c v)
+            | V v, Not_null_c _ -> Some (Not_null_c v)
+            | C value, con -> (
+                (* Evaluate the constraint on the constant. *)
+                let ok =
+                  match con with
+                  | Ty_in _ -> false (* type vars are never unified with data constants *)
+                  | Rel (_, op, c) -> Query.Cond.eval_cmp op value c
+                  | Null_c _ -> Datum.Value.is_null value
+                  | Not_null_c _ -> not (Datum.Value.is_null value)
+                in
+                if ok then None else raise Dead_state))
+        st.cons;
+  }
+
+(* Unify one join column.  [st.bind] holds the left occurrence; [rbind]
+   tracks the right side's (possibly already substituted) bindings. *)
+let unify_join_col (st, rbind) col =
+  let tl = List.assoc col st.bind and tr = List.assoc col rbind in
+  let subst_rbind ~from ~into rbind =
+    List.map (fun (c, t) -> (c, subst_term ~from ~into t)) rbind
+  in
+  match tl, tr with
+  | V a, V b when a = b -> ({ st with cons = Not_null_c a :: st.cons }, rbind)
+  | V a, V b ->
+      let st = subst_state ~from:b ~into:(V a) st in
+      ({ st with cons = Not_null_c a :: st.cons }, subst_rbind ~from:b ~into:(V a) rbind)
+  | V a, C v ->
+      if Datum.Value.is_null v then raise Dead_state
+      else ({ st with cons = Rel (a, Query.Cond.Eq, v) :: st.cons }, rbind)
+  | C v, V b ->
+      if Datum.Value.is_null v then raise Dead_state
+      else (subst_state ~from:b ~into:(C v) st, subst_rbind ~from:b ~into:(C v) rbind)
+  | C v, C w ->
+      if (not (Datum.Value.is_null v)) && Datum.Value.equal v w then (st, rbind)
+      else raise Dead_state
+
+let rec needed_elim env role needed q =
+  (* Rewrite away outer joins that a projection renders exact, plus sound
+     one-sided reductions on the superset side: every row of one input of a
+     full outer join survives into the join's output, so projecting onto
+     that input's columns yields a lower bound — enough to prove
+     containment INTO the join.  (The exact rules stay role-agnostic.) *)
+  let cols_of q = match Query.Algebra.infer env q with Ok c -> c | Error _ -> [] in
+  let covered q = List.for_all (fun c -> List.mem c (cols_of q)) needed in
+  match q with
+  | Query.Algebra.Left_outer_join (l, _r, _) when covered l -> needed_elim env role needed l
+  | Query.Algebra.Full_outer_join (l, r, on) when List.for_all (fun c -> List.mem c on) needed ->
+      Query.Algebra.Union_all (needed_elim env role needed l, needed_elim env role needed r)
+  | Query.Algebra.Full_outer_join (l, r, _) when role = Superset_side && (covered l || covered r)
+    ->
+      let l' = if covered l then Some (needed_elim env role needed l) else None in
+      let r' = if covered r then Some (needed_elim env role needed r) else None in
+      (match l', r' with
+      | Some l', Some r' -> Query.Algebra.Union_all (l', r')
+      | Some l', None -> l'
+      | None, Some r' -> r'
+      | None, None -> assert false)
+  | Query.Algebra.Left_outer_join (_l, r, on)
+    when role = Superset_side
+         && List.for_all (fun c -> List.mem c (cols_of r) || List.mem c on) needed ->
+      (* Matched rows carry the right side's values; the right side filtered
+         through the join is a lower bound, and so is the full right side
+         only when every row matches — not provable here, so keep the
+         default join lower bound. *)
+      q
+  | Query.Algebra.Union_all (l, r) ->
+      (* Projection distributes over union. *)
+      Query.Algebra.Union_all (needed_elim env role needed l, needed_elim env role needed r)
+  | Query.Algebra.Project (items, q1) ->
+      (* Narrow the projection to the needed columns and keep pushing. *)
+      let items' = List.filter (fun it -> List.mem (Query.Algebra.dst_of it) needed) items in
+      let needed' =
+        List.concat_map
+          (function
+            | Query.Algebra.Col { src; _ } -> [ src ]
+            | Query.Algebra.Coalesce { srcs; _ } -> srcs
+            | Query.Algebra.Const _ -> [])
+          items'
+        |> List.sort_uniq String.compare
+      in
+      Query.Algebra.Project (items', needed_elim env role needed' q1)
+  | Query.Algebra.Select (c, q1) ->
+      let extra = Query.Cond.columns c in
+      let extra =
+        if Query.Cond.type_atoms c <> [] then Query.Env.type_column :: extra else extra
+      in
+      let needed' = List.sort_uniq String.compare (needed @ extra) in
+      Query.Algebra.Select (c, needed_elim env role needed' q1)
+  | Query.Algebra.Scan _ | Query.Algebra.Join _ | Query.Algebra.Left_outer_join _
+  | Query.Algebra.Full_outer_join _ ->
+      q
+
+let rec norm env role counter q : (state list * bool, string) Stdlib.result =
+  match q with
+  | Query.Algebra.Scan src ->
+      let* st = scan_state env counter src in
+      Ok ([ st ], false)
+  | Query.Algebra.Select (c, q1) ->
+      let* sts, approx = norm env role counter q1 in
+      let disjuncts = Query.Cond.dnf (Query.Cond.simplify c) in
+      let out =
+        List.concat_map
+          (fun st ->
+            List.filter_map
+              (fun conj ->
+                match List.fold_left (apply_atom env) st conj with
+                | st -> if consistent st.cons then Some st else None
+                | exception Dead_state -> None)
+              disjuncts)
+          sts
+      in
+      Ok (out, approx)
+  | Query.Algebra.Project (items, q1) ->
+      let needed =
+        List.concat_map
+          (function
+            | Query.Algebra.Col { src; _ } -> [ src ]
+            | Query.Algebra.Coalesce { srcs; _ } -> srcs
+            | Query.Algebra.Const _ -> [])
+          items
+      in
+      let q1 = needed_elim env role (List.sort_uniq String.compare needed) q1 in
+      let* sts, approx = norm env role counter q1 in
+      (* [Coalesce] splits a state into one case per "first non-null source"
+         position, plus the all-null case; each case pins the corresponding
+         null constraints.  Constant sources resolve immediately. *)
+      let apply_item states item =
+        match item with
+        | Query.Algebra.Col { src; dst } ->
+            List.map
+              (fun (st, bind) ->
+                let t =
+                  match List.assoc_opt src st.bind with
+                  | Some t -> t
+                  | None -> C Datum.Value.Null
+                in
+                (st, (dst, t) :: bind))
+              states
+        | Query.Algebra.Const { value; dst } ->
+            List.map (fun (st, bind) -> (st, (dst, C value) :: bind)) states
+        | Query.Algebra.Coalesce { srcs; dst } ->
+            List.concat_map
+              (fun ((st : state), bind) ->
+                let terms =
+                  List.map
+                    (fun src ->
+                      match List.assoc_opt src st.bind with
+                      | Some t -> t
+                      | None -> C Datum.Value.Null)
+                    srcs
+                in
+                let rec cases prefix_null = function
+                  | [] ->
+                      [ ({ st with cons = prefix_null @ st.cons },
+                         (dst, C Datum.Value.Null) :: bind) ]
+                  | t :: rest -> (
+                      match t with
+                      | C v when Datum.Value.is_null v -> cases prefix_null rest
+                      | C v ->
+                          [ ({ st with cons = prefix_null @ st.cons }, (dst, C v) :: bind) ]
+                      | V x ->
+                          ({ st with cons = (Not_null_c x :: prefix_null) @ st.cons },
+                           (dst, V x) :: bind)
+                          :: cases (Null_c x :: prefix_null) rest)
+                in
+                List.filter (fun ((st : state), _) -> consistent st.cons) (cases [] terms))
+              states
+      in
+      let out =
+        List.concat_map
+          (fun st ->
+            List.map
+              (fun ((st' : state), bind) -> { st' with bind = List.rev bind })
+              (List.fold_left apply_item [ (st, []) ] items))
+          sts
+      in
+      Ok (out, approx)
+  | Query.Algebra.Join (l, r, on) ->
+      let* ls, al = norm env role counter l in
+      let* rs, ar = norm env role counter r in
+      Ok (join_states ls rs on, al || ar)
+  | Query.Algebra.Left_outer_join (l, r, on) -> (
+      let* ls, _al = norm env role counter l in
+      let* rs, _ar = norm env role counter r in
+      let rcols_only =
+        match Query.Algebra.infer env r with
+        | Ok rc -> List.filter (fun c -> not (List.mem c on)) rc
+        | Error e -> invalid_arg e
+      in
+      let joined = join_states ls rs on in
+      match role with
+      | Superset_side -> Ok (joined, true)
+      | Subset_side ->
+          let padded = List.map (pad_state rcols_only) ls in
+          Ok (joined @ padded, true))
+  | Query.Algebra.Full_outer_join (l, r, on) -> (
+      let* ls, _al = norm env role counter l in
+      let* rs, _ar = norm env role counter r in
+      let lcols = match Query.Algebra.infer env l with Ok c -> c | Error e -> invalid_arg e in
+      let rcols = match Query.Algebra.infer env r with Ok c -> c | Error e -> invalid_arg e in
+      let rcols_only = List.filter (fun c -> not (List.mem c on)) rcols in
+      let lcols_only = List.filter (fun c -> not (List.mem c on)) lcols in
+      let joined = join_states ls rs on in
+      match role with
+      | Superset_side -> Ok (joined, true)
+      | Subset_side ->
+          let pad_l = List.map (pad_state rcols_only) ls in
+          let pad_r = List.map (pad_state lcols_only) rs in
+          Ok (joined @ pad_l @ pad_r, true))
+  | Query.Algebra.Union_all (l, r) ->
+      let* ls, al = norm env role counter l in
+      let* rs, ar = norm env role counter r in
+      Ok (ls @ rs, al || ar)
+
+and join_states ls rs on =
+  List.concat_map
+    (fun (stl : state) ->
+      List.filter_map
+        (fun (str : state) ->
+          let merged =
+            {
+              bind = stl.bind @ List.filter (fun (c, _) -> not (List.mem c on)) str.bind;
+              body = stl.body @ str.body;
+              cons = stl.cons @ str.cons;
+            }
+          in
+          match List.fold_left unify_join_col (merged, str.bind) on with
+          | st, _ -> if consistent st.cons then Some st else None
+          | exception Dead_state -> None)
+        rs)
+    ls
+
+and pad_state cols st =
+  { st with bind = st.bind @ List.map (fun c -> (c, C Datum.Value.Null)) cols }
+
+let type_cases (cq : cq) : cq list =
+  let m = infos cq.cons in
+  let split_vars =
+    Int_map.fold
+      (fun v i acc -> match i.types with Some tys when List.length tys > 1 -> (v, tys) :: acc | _ -> acc)
+      m []
+  in
+  List.fold_left
+    (fun cases (v, tys) ->
+      List.concat_map
+        (fun (cq : cq) -> List.map (fun ty -> { cq with cons = Ty_in (v, [ ty ]) :: cq.cons }) tys)
+        cases)
+    [ cq ] split_vars
+
+let normalize env role q =
+  let counter = ref 0 in
+  let* sts, approximate = norm env role counter q in
+  let cqs =
+    List.filter_map
+      (fun st ->
+        if consistent st.cons then Some { head = st.bind; body = st.body; cons = st.cons }
+        else None)
+      sts
+  in
+  Ok { cqs; approximate }

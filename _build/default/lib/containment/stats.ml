@@ -1,0 +1,45 @@
+type snapshot = {
+  checks : int;
+  cq_pairs : int;
+  hom_steps : int;
+  approximate_checks : int;
+  cache_hits : int;
+}
+
+let checks = ref 0
+let cq_pairs = ref 0
+let hom_steps = ref 0
+let approximate_checks = ref 0
+let cache_hits = ref 0
+
+let reset () =
+  checks := 0;
+  cq_pairs := 0;
+  hom_steps := 0;
+  approximate_checks := 0;
+  cache_hits := 0
+
+let read () =
+  { checks = !checks; cq_pairs = !cq_pairs; hom_steps = !hom_steps;
+    approximate_checks = !approximate_checks; cache_hits = !cache_hits }
+
+let diff before after =
+  {
+    checks = after.checks - before.checks;
+    cq_pairs = after.cq_pairs - before.cq_pairs;
+    hom_steps = after.hom_steps - before.hom_steps;
+    approximate_checks = after.approximate_checks - before.approximate_checks;
+    cache_hits = after.cache_hits - before.cache_hits;
+  }
+
+let record_check ~approximate =
+  incr checks;
+  if approximate then incr approximate_checks
+
+let record_cq_pair () = incr cq_pairs
+let record_cache_hit () = incr cache_hits
+let record_hom_step () = incr hom_steps
+
+let pp fmt s =
+  Format.fprintf fmt "checks=%d cq_pairs=%d hom_steps=%d approx=%d cached=%d" s.checks s.cq_pairs
+    s.hom_steps s.approximate_checks s.cache_hits

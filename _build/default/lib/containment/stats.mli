@@ -1,0 +1,25 @@
+(** Instrumentation counters for the containment checker.
+
+    Validation cost in both compilers is dominated by containment checks
+    (Section 4.2 of the paper observes "the majority of time spent on query
+    containment checks"); these counters let the benchmark harness report
+    how many checks each compilation performed and how large they were. *)
+
+type snapshot = {
+  checks : int;               (** calls to [Check.subset] *)
+  cq_pairs : int;             (** homomorphism problems attempted *)
+  hom_steps : int;            (** atom-matching steps explored *)
+  approximate_checks : int;   (** checks that used outer-join approximations *)
+  cache_hits : int;           (** checks answered from the memo table *)
+}
+
+val reset : unit -> unit
+val read : unit -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after] is the per-phase delta. *)
+
+val record_check : approximate:bool -> unit
+val record_cq_pair : unit -> unit
+val record_cache_hit : unit -> unit
+val record_hom_step : unit -> unit
+val pp : Format.formatter -> snapshot -> unit

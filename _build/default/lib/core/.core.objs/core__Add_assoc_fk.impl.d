@@ -1,0 +1,1 @@
+lib/core/add_assoc_fk.pp.ml: Algo Containment Edm Format List Mapping Option Query Relational Result State String

@@ -1,0 +1,1 @@
+lib/core/add_assoc_fk.pp.mli: Edm State

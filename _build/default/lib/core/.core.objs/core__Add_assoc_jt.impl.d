@@ -1,0 +1,1 @@
+lib/core/add_assoc_jt.pp.ml: Algo Edm Format List Mapping Query Relational Result State String

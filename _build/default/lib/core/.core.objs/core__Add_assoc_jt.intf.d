@@ -1,0 +1,1 @@
+lib/core/add_assoc_jt.pp.mli: Edm Relational State

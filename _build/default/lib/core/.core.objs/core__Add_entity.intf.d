@@ -1,0 +1,1 @@
+lib/core/add_entity.pp.mli: Edm Relational State

@@ -1,0 +1,1 @@
+lib/core/add_entity_part.pp.ml: Algo Datum Edm Format List Mapping Option Query Relational Result State String

@@ -1,0 +1,1 @@
+lib/core/add_entity_part.pp.mli: Edm Query Relational State

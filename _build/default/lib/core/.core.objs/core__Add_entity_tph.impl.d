@@ -1,0 +1,1 @@
+lib/core/add_entity_tph.pp.ml: Algo Containment Datum Edm Format List Mapping Option Query Relational Result State String

@@ -1,0 +1,1 @@
+lib/core/add_entity_tph.pp.mli: Datum Edm State

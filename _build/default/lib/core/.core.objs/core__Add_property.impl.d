@@ -1,0 +1,1 @@
+lib/core/add_property.pp.ml: Algo Datum Edm Format List Mapping Option Query Relational Result State String

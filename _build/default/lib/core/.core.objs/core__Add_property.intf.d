@@ -1,0 +1,1 @@
+lib/core/add_property.pp.mli: Datum Relational State

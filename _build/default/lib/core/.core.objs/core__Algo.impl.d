@@ -1,0 +1,1 @@
+lib/core/algo.pp.ml: Containment Edm Format Fullc List Mapping Query Relational Result State String

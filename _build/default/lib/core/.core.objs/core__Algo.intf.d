@@ -1,0 +1,1 @@
+lib/core/algo.pp.mli: Edm Mapping Query Relational State

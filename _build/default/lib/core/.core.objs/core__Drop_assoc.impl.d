@@ -1,0 +1,1 @@
+lib/core/drop_assoc.pp.ml: Algo Edm Format Fullc List Mapping Query Relational Result State

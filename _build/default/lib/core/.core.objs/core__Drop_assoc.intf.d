@@ -1,0 +1,1 @@
+lib/core/drop_assoc.pp.mli: State

@@ -1,0 +1,1 @@
+lib/core/drop_entity.pp.ml: Algo Edm Format List Mapping Query Relational Result State String

@@ -1,0 +1,1 @@
+lib/core/drop_entity.pp.mli: State

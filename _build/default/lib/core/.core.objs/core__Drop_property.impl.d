@@ -1,0 +1,1 @@
+lib/core/drop_property.pp.ml: Algo Edm Format List Mapping Query Result State

@@ -1,0 +1,1 @@
+lib/core/drop_property.pp.mli: State

@@ -1,0 +1,1 @@
+lib/core/engine.pp.ml: Add_assoc_fk Add_assoc_jt Add_entity Add_entity_part Add_entity_tph Add_property Containment Drop_assoc Drop_entity Drop_property List Modify_facet Refactor Result Smo Unix

@@ -1,0 +1,1 @@
+lib/core/engine.pp.mli: Containment Smo State

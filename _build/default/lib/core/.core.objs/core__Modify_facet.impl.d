@@ -1,0 +1,1 @@
+lib/core/modify_facet.pp.ml: Datum Edm Format List Mapping Query Relational Result State String

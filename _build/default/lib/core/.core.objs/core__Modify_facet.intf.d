@@ -1,0 +1,1 @@
+lib/core/modify_facet.pp.mli: Datum Edm State

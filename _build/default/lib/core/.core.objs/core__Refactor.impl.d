@@ -1,0 +1,1 @@
+lib/core/refactor.pp.ml: Algo Edm Format List Mapping Query Relational Result State

@@ -1,0 +1,1 @@
+lib/core/refactor.pp.mli: State

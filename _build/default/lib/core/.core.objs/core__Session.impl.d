@@ -1,0 +1,1 @@
+lib/core/session.pp.ml: Buffer Containment Engine List Printf Smo State

@@ -1,0 +1,1 @@
+lib/core/session.pp.mli: Engine Smo State

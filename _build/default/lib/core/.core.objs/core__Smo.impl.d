@@ -1,0 +1,1 @@
+lib/core/smo.pp.ml: Add_entity_part Add_property Datum Edm Format List Option Printf Relational String

@@ -1,0 +1,1 @@
+lib/core/smo.pp.mli: Add_entity_part Add_property Datum Edm Format Relational

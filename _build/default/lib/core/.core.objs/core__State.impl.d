@@ -1,0 +1,1 @@
+lib/core/state.pp.ml: Edm Fullc Mapping Query Result

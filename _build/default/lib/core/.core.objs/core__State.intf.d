@@ -1,0 +1,1 @@
+lib/core/state.pp.mli: Edm Fullc Mapping Query Relational

@@ -1,0 +1,144 @@
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+let apply (st : State.t) ~assoc ~table ~fmap =
+  let client = st.State.env.Query.Env.client in
+  let store = st.State.env.Query.Env.store in
+  let* client' = Edm.Schema.add_association assoc client in
+  let* () =
+    match assoc.Edm.Association.mult2 with
+    | Edm.Association.Many -> fail "AddAssocFK requires the %s endpoint to be at most one" assoc.Edm.Association.end2
+    | Edm.Association.One | Edm.Association.Zero_or_one -> Ok ()
+  in
+  let* tbl =
+    match Relational.Schema.find_table store table with
+    | Some tbl -> Ok tbl
+    | None -> fail "unknown table %s" table
+  in
+  let* () =
+    if Mapping.Fragments.on_table st.State.fragments table <> [] then Ok ()
+    else fail "table %s is not previously mentioned in the mapping" table
+  in
+  let key1 = Edm.Schema.key_of client' assoc.Edm.Association.end1 in
+  let key2 = Edm.Schema.key_of client' assoc.Edm.Association.end2 in
+  let cols1 = List.map (Edm.Association.qualify ~etype:assoc.Edm.Association.end1) key1 in
+  let cols2 = List.map (Edm.Association.qualify ~etype:assoc.Edm.Association.end2) key2 in
+  let expected = cols1 @ cols2 in
+  let* () =
+    if
+      List.length fmap = List.length expected
+      && List.for_all (fun c -> List.mem_assoc c fmap) expected
+    then Ok ()
+    else fail "f must map exactly the key columns of both endpoints"
+  in
+  let image = List.map snd fmap in
+  let* () =
+    if List.length (List.sort_uniq String.compare image) = List.length image then Ok ()
+    else fail "f is not one-to-one"
+  in
+  let* () =
+    match List.find_opt (fun c -> not (Relational.Table.mem_column tbl c)) image with
+    | Some c -> fail "f targets unknown column %s.%s" table c
+    | None -> Ok ()
+  in
+  let f_pk1 = List.map (fun c -> List.assoc c fmap) cols1 in
+  let f_pk2 = List.map (fun c -> List.assoc c fmap) cols2 in
+  let* () =
+    if List.sort String.compare f_pk1 = List.sort String.compare tbl.Relational.Table.key then
+      Ok ()
+    else fail "f(PK1) must be the primary key of %s" table
+  in
+  (* Check 1: f(PK2) previously unused. *)
+  let* () =
+    all_ok
+      (fun c ->
+        if Mapping.Fragments.column_used st.State.fragments ~table c then
+          fail "column %s.%s is already used by the mapping" table c
+        else Ok ())
+      f_pk2
+  in
+  (* Check 2: E1's keys are storable in T's key. *)
+  let* prev_t =
+    match Query.View.table_view st.State.update_views table with
+    | Some v -> Ok v
+    | None -> fail "table %s has no update view" table
+  in
+  let env' = Query.Env.make ~client:client' ~store in
+  let* () =
+    let set1 = Option.get (Edm.Schema.set_of_type client' assoc.Edm.Association.end1) in
+    let lhs =
+      Query.Algebra.project_renamed (List.combine key1 f_pk1)
+        (Query.Algebra.Select
+           (Query.Cond.Is_of assoc.Edm.Association.end1,
+            Query.Algebra.Scan (Query.Algebra.Entity_set set1)))
+    in
+    let rhs = Query.Algebra.project_cols f_pk1 prev_t.Query.View.query in
+    if Containment.Check.holds env' lhs rhs then Ok ()
+    else
+      fail "check 2 failed: %s endpoint keys cannot be stored in the key of %s"
+        assoc.Edm.Association.end1 table
+  in
+  (* Check 3: an existing foreign key out of f(PK2) must keep resolving. *)
+  let* () =
+    all_ok
+      (fun (fk : Relational.Table.foreign_key) ->
+        if not (List.exists (fun c -> List.mem c f_pk2) fk.fk_columns) then Ok ()
+        else if fk.fk_columns <> f_pk2 then
+          fail "foreign key of %s only partially covers f(PK2)" table
+        else
+          match Query.View.table_view st.State.update_views fk.ref_table with
+          | None -> fail "foreign key target %s has no update view" fk.ref_table
+          | Some vt' ->
+              let set2 = Option.get (Edm.Schema.set_of_type client' assoc.Edm.Association.end2) in
+              let lhs =
+                Query.Algebra.project_renamed (List.combine key2 fk.ref_columns)
+                  (Query.Algebra.Select
+                     (Query.Cond.Is_of assoc.Edm.Association.end2,
+                      Query.Algebra.Scan (Query.Algebra.Entity_set set2)))
+              in
+              let rhs = Query.Algebra.project_cols fk.ref_columns vt'.Query.View.query in
+              if Containment.Check.holds env' lhs rhs then Ok ()
+              else
+                fail "check 3 failed: foreign key %s(%s) -> %s would not be preserved" table
+                  (String.concat "," fk.fk_columns) fk.ref_table)
+      tbl.Relational.Table.fks
+  in
+  (* Fragment, query view, update view. *)
+  let phi_a =
+    Mapping.Fragment.assoc ~assoc:assoc.Edm.Association.name ~table
+      ~store_cond:(Algo.not_null_conj f_pk2) fmap
+  in
+  let fragments = Mapping.Fragments.add phi_a st.State.fragments in
+  let qa =
+    Query.Algebra.Project
+      ( List.map (fun (ac, c) -> Query.Algebra.col_as c ac) fmap,
+        Query.Algebra.Select
+          (Algo.not_null_conj f_pk2, Query.Algebra.Scan (Query.Algebra.Table table)) )
+  in
+  let query_views =
+    Query.View.set_assoc_view assoc.Edm.Association.name
+      { Query.View.query = qa; ctor = Query.Ctor.Tuple expected }
+      st.State.query_views
+  in
+  let keep = List.filter (fun c -> not (List.mem c f_pk2)) (Relational.Table.column_names tbl) in
+  let assoc_side =
+    Query.Algebra.Project
+      ( List.map (fun (ac, c) -> Query.Algebra.col_as ac c) fmap,
+        Query.Algebra.Scan (Query.Algebra.Assoc_set assoc.Edm.Association.name) )
+  in
+  let qt =
+    Query.Algebra.Left_outer_join
+      (Query.Algebra.project_cols keep prev_t.Query.View.query, assoc_side, f_pk1)
+  in
+  let update_views =
+    Query.View.set_table_view table
+      { Query.View.query = qt; ctor = prev_t.Query.View.ctor }
+      st.State.update_views
+  in
+  Ok { State.env = env'; fragments; query_views; update_views }

@@ -1,0 +1,187 @@
+type part = {
+  part_alpha : string list;
+  part_cond : Query.Cond.t;
+  part_table : Relational.Table.t;
+  part_fmap : (string * string) list;
+}
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+let check_part client' e part =
+  let att_e = Edm.Schema.attribute_names client' e in
+  let key = Edm.Schema.key_of client' e in
+  let tbl = part.part_table in
+  let* () =
+    match List.find_opt (fun a -> not (List.mem a att_e)) part.part_alpha with
+    | Some a -> fail "αᵢ contains %s, which is not an attribute of %s" a e
+    | None -> Ok ()
+  in
+  let* () =
+    match List.find_opt (fun k -> not (List.mem k part.part_alpha)) key with
+    | Some k -> fail "αᵢ misses key attribute %s" k
+    | None -> Ok ()
+  in
+  let* () =
+    if Query.Cond.type_atoms part.part_cond = [] then Ok ()
+    else fail "ψᵢ must be a condition over attributes and constants"
+  in
+  let* () =
+    if Query.Cover.satisfiable client' ~etype:e part.part_cond then Ok ()
+    else fail "ψᵢ (%s) is unsatisfiable" (Query.Cond.show part.part_cond)
+  in
+  let* () =
+    if
+      List.length part.part_fmap = List.length part.part_alpha
+      && List.for_all (fun a -> List.mem_assoc a part.part_fmap) part.part_alpha
+    then Ok ()
+    else fail "fᵢ must map exactly αᵢ"
+  in
+  let image = List.map snd part.part_fmap in
+  let* () =
+    if List.length (List.sort_uniq String.compare image) = List.length image then Ok ()
+    else fail "fᵢ is not one-to-one"
+  in
+  let* () =
+    match List.find_opt (fun c -> not (Relational.Table.mem_column tbl c)) image with
+    | Some c -> fail "fᵢ targets unknown column %s.%s" tbl.Relational.Table.name c
+    | None -> Ok ()
+  in
+  let key_image = List.filter_map (fun k -> List.assoc_opt k part.part_fmap) key in
+  let* () =
+    if List.sort String.compare key_image = List.sort String.compare tbl.Relational.Table.key
+    then Ok ()
+    else fail "fᵢ must map the key of %s onto the key of %s" e tbl.Relational.Table.name
+  in
+  let* () =
+    all_ok
+      (fun (a, c) ->
+        match Edm.Schema.attribute_domain client' e a, Relational.Table.domain_of tbl c with
+        | Some da, Some dc ->
+            if Datum.Domain.subsumes ~wide:dc ~narrow:da then Ok ()
+            else fail "dom(%s) is not contained in dom(%s.%s)" a tbl.Relational.Table.name c
+        | None, _ | _, None -> Ok ())
+      part.part_fmap
+  in
+  all_ok
+    (fun c ->
+      if List.mem c image || Relational.Table.nullable tbl c then Ok ()
+      else fail "column %s.%s is outside fᵢ(αᵢ) and must be nullable" tbl.Relational.Table.name c)
+    (Relational.Table.column_names tbl)
+
+let apply (st : State.t) ~entity ~p_ref ~parts =
+  let e = entity.Edm.Entity_type.name in
+  let* client' = Edm.Schema.add_derived entity st.State.env.Query.Env.client in
+  let* () = match parts with [] -> fail "AddEntityPart needs at least one partition" | _ -> Ok () in
+  let* () = all_ok (check_part client' e) parts in
+  let* () =
+    match p_ref with
+    | None -> Ok ()
+    | Some p ->
+        if Edm.Schema.is_proper_ancestor client' ~anc:p ~descendant:e then Ok ()
+        else fail "%s is not an ancestor of %s" p e
+  in
+  (* Fresh, pairwise-distinct tables; extend the store. *)
+  let names = List.map (fun pt -> pt.part_table.Relational.Table.name) parts in
+  let* () =
+    if List.length (List.sort_uniq String.compare names) = List.length names then Ok ()
+    else fail "partition tables must be distinct"
+  in
+  let* store' =
+    List.fold_left
+      (fun acc pt ->
+        let* store = acc in
+        match Relational.Schema.find_table store pt.part_table.Relational.Table.name with
+        | None -> Relational.Schema.add_table pt.part_table store
+        | Some existing ->
+            if not (Relational.Table.equal existing pt.part_table) then
+              fail "table %s already exists with a different definition"
+                pt.part_table.Relational.Table.name
+            else if
+              Mapping.Fragments.on_table st.State.fragments pt.part_table.Relational.Table.name
+              <> []
+            then fail "table %s is already mentioned in the mapping" pt.part_table.Relational.Table.name
+            else Ok store)
+      (Ok st.State.env.Query.Env.store)
+      parts
+  in
+  let env' = Query.Env.make ~client:client' ~store:store' in
+  (* The Section 3.3 coverage test: every attribute outside att(P) must be
+     covered for all attribute valuations. *)
+  let covered_by_p a =
+    match p_ref with
+    | None -> false
+    | Some p -> List.mem a (Edm.Schema.attribute_names client' p)
+  in
+  let* () =
+    all_ok
+      (fun a ->
+        if covered_by_p a then Ok ()
+        else
+          let selected =
+            List.filter_map
+              (fun pt ->
+                if
+                  List.mem a pt.part_alpha
+                  || List.mem_assoc a (Mapping.Coverage.determined_constants pt.part_cond)
+                then Some pt.part_cond
+                else None)
+              parts
+          in
+          if Query.Cover.tautology client' ~etype:e (Query.Cond.disj selected) then Ok ()
+          else
+            fail "the partition conditions covering attribute %s of %s are not a tautology" a e)
+      (Edm.Schema.attribute_names client' e)
+  in
+  (* Fragments: Σ* adaptation plus one fragment per partition. *)
+  let between =
+    match p_ref with
+    | None -> Edm.Schema.ancestors client' e
+    | Some p -> Edm.Schema.strictly_between client' ~low:e ~high:(Some p)
+  in
+  let set = Option.get (Edm.Schema.set_of_type client' e) in
+  let sigma_star =
+    Mapping.Fragments.map
+      (fun f ->
+        {
+          f with
+          Mapping.Fragment.client_cond =
+            Algo.adapt_cond client' ~p_ref ~between ~e f.Mapping.Fragment.client_cond;
+        })
+      st.State.fragments
+  in
+  let fragments =
+    List.fold_left
+      (fun acc pt ->
+        Mapping.Fragments.add
+          (Mapping.Fragment.entity ~set
+             ~cond:(Query.Cond.And (Query.Cond.Is_of e, pt.part_cond))
+             ~table:pt.part_table.Relational.Table.name pt.part_fmap)
+          acc)
+      sigma_star parts
+  in
+  (* Views: regenerate the affected entity set (the neighborhood). *)
+  let* st' = Algo.recompile_set env' fragments ~set { st with State.env = env' } in
+  (* Validation: one containment check per foreign key of each new table —
+     the 2^n checks of the AEP-np benchmarks — plus the association checks
+     on intermediate types. *)
+  let* () =
+    all_ok
+      (fun pt ->
+        all_ok
+          (fun (fk : Relational.Table.foreign_key) ->
+            Algo.fk_containment env' st'.State.update_views
+              ~table:pt.part_table.Relational.Table.name fk)
+          pt.part_table.Relational.Table.fks)
+      parts
+  in
+  let* () =
+    Algo.assoc_endpoint_checks env' fragments st'.State.update_views ~etypes:between
+  in
+  Ok st'

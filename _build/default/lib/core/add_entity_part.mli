@@ -1,0 +1,30 @@
+(** The [AddEntityPart(E, E′, P, Γ)] SMO of Section 3.3: add an entity type
+    whose instances are horizontally partitioned across several tables by
+    client-side conditions (the Adult/Young and gender examples).
+
+    The paper's distinguishing validation step is implemented exactly: for
+    every attribute of [E] not covered through the [P] reference, the
+    disjunction of the ψᵢ of the partitions that project it — or force it to
+    a constant ([A = c] consequences, which is how an unmapped [gender]
+    column can still be covered over a closed M/F domain) — must be a
+    tautology ({!Query.Cover.tautology}).  Foreign keys of the new tables
+    are checked by containment (the AEP-np benchmarks of Fig. 9 stress
+    exactly this: one check per partition table).
+
+    Query views (full outer join of the partition tables, constants
+    re-materialized) are produced by regenerating the affected entity set's
+    views — the neighborhood, not the whole mapping. *)
+
+type part = {
+  part_alpha : string list;
+  part_cond : Query.Cond.t;        (** ψᵢ — a satisfiable conjunction *)
+  part_table : Relational.Table.t;
+  part_fmap : (string * string) list;
+}
+
+val apply :
+  State.t ->
+  entity:Edm.Entity_type.t ->
+  p_ref:string option ->
+  parts:part list ->
+  (State.t, string) result

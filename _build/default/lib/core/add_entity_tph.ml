@@ -1,0 +1,224 @@
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+(* Narrow [IS OF E'] so it no longer captures the new type [e]: the new
+   type's rows live exclusively in its own discriminator region. *)
+let narrow_parent client' ~parent ~e cond =
+  Query.Cond.map_atoms
+    (function
+      | Query.Cond.Is_of p when p = parent ->
+          let others =
+            List.filter (fun c -> c <> e) (Edm.Schema.children client' parent)
+          in
+          Query.Cond.disj
+            (Query.Cond.Is_of_only parent :: List.map (fun c -> Query.Cond.Is_of c) others)
+      | atom -> atom)
+    cond
+
+let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) =
+  let store = st.State.env.Query.Env.store in
+  let e = entity.Edm.Entity_type.name in
+  let* client' = Edm.Schema.add_derived entity st.State.env.Query.Env.client in
+  let* tbl =
+    match Relational.Schema.find_table store table with
+    | Some tbl -> Ok tbl
+    | None -> fail "unknown table %s" table
+  in
+  let* () =
+    if Mapping.Fragments.on_table st.State.fragments table <> [] then Ok ()
+    else fail "TPH requires table %s to already carry the hierarchy" table
+  in
+  let att_e = Edm.Schema.attribute_names client' e in
+  let key = Edm.Schema.key_of client' e in
+  let* () =
+    if
+      List.length fmap = List.length att_e
+      && List.for_all (fun a -> List.mem_assoc a fmap) att_e
+    then Ok ()
+    else fail "f must map all of att(%s)" e
+  in
+  let image = List.map snd fmap in
+  let* () =
+    if List.length (List.sort_uniq String.compare image) = List.length image then Ok ()
+    else fail "f is not one-to-one"
+  in
+  let* () =
+    match List.find_opt (fun c -> not (Relational.Table.mem_column tbl c)) image with
+    | Some c -> fail "f targets unknown column %s.%s" table c
+    | None -> Ok ()
+  in
+  let key_image = List.filter_map (fun k -> List.assoc_opt k fmap) key in
+  let* () =
+    if List.sort String.compare key_image = List.sort String.compare tbl.Relational.Table.key
+    then Ok ()
+    else fail "f must map the key of %s onto the key of %s" e table
+  in
+  let* () =
+    match Relational.Table.domain_of tbl disc with
+    | None -> fail "unknown discriminator column %s.%s" table disc
+    | Some d ->
+        if List.mem disc image then fail "the discriminator column cannot be in f(att(E))"
+        else if Datum.Value.member disc_value d then Ok ()
+        else fail "discriminator value %s outside the domain of %s.%s"
+               (Datum.Value.show disc_value) table disc
+  in
+  let* () =
+    all_ok
+      (fun (a, c) ->
+        match Edm.Schema.attribute_domain client' e a, Relational.Table.domain_of tbl c with
+        | Some da, Some dc ->
+            if Datum.Domain.subsumes ~wide:dc ~narrow:da then Ok ()
+            else fail "dom(%s) is not contained in dom(%s.%s)" a table c
+        | None, _ | _, None -> Ok ())
+      fmap
+  in
+  let env' = Query.Env.make ~client:client' ~store in
+  let parent = Option.get entity.Edm.Entity_type.parent in
+  let set = Option.get (Edm.Schema.set_of_type client' e) in
+  (* Validation (before committing views): the new discriminator region must
+     be free on T. *)
+  let disc_cond = Query.Cond.Cmp (disc, Query.Cond.Eq, disc_value) in
+  let* () =
+    all_ok
+      (fun (g : Mapping.Fragment.t) ->
+        let overlap =
+          Query.Algebra.project_cols tbl.Relational.Table.key
+            (Query.Algebra.Select
+               (Query.Cond.And (disc_cond, g.Mapping.Fragment.store_cond),
+                Query.Algebra.Scan (Query.Algebra.Table table)))
+        in
+        let empty =
+          Query.Algebra.project_cols tbl.Relational.Table.key
+            (Query.Algebra.Select (Query.Cond.False, Query.Algebra.Scan (Query.Algebra.Table table)))
+        in
+        if Containment.Check.holds env' overlap empty then Ok ()
+        else
+          fail "discriminator %s = %s overlaps the region of fragment %s" disc
+            (Datum.Value.show disc_value) (Mapping.Fragment.show g))
+      (List.filter
+         (fun (g : Mapping.Fragment.t) ->
+           match g.Mapping.Fragment.client_source with
+           | Mapping.Fragment.Set _ -> true
+           | Mapping.Fragment.Assoc _ -> false)
+         (Mapping.Fragments.on_table st.State.fragments table))
+  in
+  (* Fragments: narrow the parent's reach, then add φ_E. *)
+  let sigma_star =
+    Mapping.Fragments.map
+      (fun f ->
+        {
+          f with
+          Mapping.Fragment.client_cond =
+            narrow_parent client' ~parent ~e f.Mapping.Fragment.client_cond;
+        })
+      st.State.fragments
+  in
+  let phi_e =
+    Mapping.Fragment.entity ~set ~cond:(Query.Cond.Is_of e) ~table ~store_cond:disc_cond fmap
+  in
+  let fragments = Mapping.Fragments.add phi_e sigma_star in
+  (* Query views. *)
+  let te = Algo.tag_for e in
+  let tau_e = Query.Ctor.Entity { etype = e; attrs = att_e } in
+  let renamed = List.map (fun (a, c) -> Query.Algebra.col_as c a) fmap in
+  let branch = Query.Algebra.Select (disc_cond, Query.Algebra.Scan (Query.Algebra.Table table)) in
+  let qe = Query.Algebra.Project (renamed, branch) in
+  let q_tagged = Query.Algebra.Project (renamed @ [ Query.Algebra.tag te ], branch) in
+  let flag = Query.Cond.Cmp (te, Query.Cond.Eq, Datum.Value.Bool true) in
+  let* query_views =
+    List.fold_left
+      (fun acc f ->
+        let* acc = acc in
+        match Query.View.entity_view st.State.query_views f with
+        | None -> fail "no previous query view for entity type %s" f
+        | Some vf ->
+            let query = Algo.align_union env' vf.Query.View.query q_tagged in
+            let ctor = Query.Ctor.If (flag, tau_e, vf.Query.View.ctor) in
+            Ok (Query.View.set_entity_view f { Query.View.query; ctor } acc))
+      (Ok st.State.query_views)
+      (Edm.Schema.ancestors client' e)
+  in
+  let query_views =
+    Query.View.set_entity_view e { Query.View.query = qe; ctor = tau_e } query_views
+  in
+  (* Update views: narrow the parent's reach everywhere, then union the new
+     branch into T's view. *)
+  let narrowed =
+    List.fold_left
+      (fun acc (t, (v : Query.View.t)) ->
+        let query =
+          Query.Algebra.map_conditions (narrow_parent client' ~parent ~e) v.Query.View.query
+        in
+        Query.View.set_table_view t { v with Query.View.query } acc)
+      Query.View.no_update_views
+      (Query.View.update_view_bindings st.State.update_views)
+  in
+  let* prev_t =
+    match Query.View.table_view narrowed table with
+    | Some v -> Ok v
+    | None -> fail "table %s has no update view" table
+  in
+  (* The new type's rows merge into T's view with a FULL OUTER JOIN on the
+     table key, per-side columns fused with COALESCE: a UNION ALL would
+     duplicate keys whenever an association fragment on T already carries a
+     row for a new-type entity (the association set mentions it through an
+     ancestor-typed endpoint). *)
+  let tkey = tbl.Relational.Table.key in
+  let nonkey = Relational.Table.non_key_columns tbl in
+  let old_side =
+    Query.Algebra.Project
+      ( List.map Query.Algebra.col tkey
+        @ List.map (fun c -> Query.Algebra.col_as c (c ^ "@old")) nonkey,
+        prev_t.Query.View.query )
+  in
+  let new_side =
+    let mapped c = List.exists (fun (_, c') -> c' = c) fmap in
+    Query.Algebra.Project
+      ( List.map
+          (fun (a, c) ->
+            if List.mem c tkey then Query.Algebra.col_as a c
+            else Query.Algebra.col_as a (c ^ "@new"))
+          fmap
+        @ [ Query.Algebra.const disc_value (disc ^ "@new") ]
+        @ List.filter_map
+            (fun c ->
+              if mapped c || c = disc then None
+              else Some (Query.Algebra.null_as (c ^ "@new")))
+            nonkey,
+        Query.Algebra.Select
+          (Query.Cond.Is_of e, Query.Algebra.Scan (Query.Algebra.Entity_set set)) )
+  in
+  let qt =
+    Query.Algebra.Project
+      ( List.map Query.Algebra.col tkey
+        @ List.map
+            (fun c -> Query.Algebra.coalesce [ c ^ "@old"; c ^ "@new" ] c)
+            nonkey,
+        Query.Algebra.Full_outer_join (old_side, new_side, tkey) )
+  in
+  let update_views =
+    Query.View.set_table_view table
+      { Query.View.query = qt; ctor = prev_t.Query.View.ctor }
+      narrowed
+  in
+  (* Remaining validation: foreign keys of T touching f(att(E)), and
+     associations on the ancestors (the new entities join their sets). *)
+  let* () =
+    all_ok
+      (fun (fk : Relational.Table.foreign_key) ->
+        if List.exists (fun c -> List.mem c image) fk.fk_columns then
+          Algo.fk_containment env' update_views ~table fk
+        else Ok ())
+      tbl.Relational.Table.fks
+  in
+  let* () =
+    Algo.assoc_endpoint_checks env' fragments update_views
+      ~etypes:(Edm.Schema.ancestors client' e)
+  in
+  Ok { State.env = env'; fragments; query_views; update_views }

@@ -1,0 +1,211 @@
+type target =
+  | To_existing_table of { table : string; column : string }
+  | To_new_table of { table : Relational.Table.t; fmap : (string * string) list }
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+(* Resolve the target into (store', table name, property column, key attr to
+   key column pairs). *)
+let resolve_target (st : State.t) client' ~etype ~attr:(a, dom) = function
+  | To_existing_table { table; column } ->
+      let store = st.State.env.Query.Env.store in
+      let* tbl =
+        match Relational.Schema.find_table store table with
+        | Some tbl -> Ok tbl
+        | None -> fail "unknown table %s" table
+      in
+      let set = Option.get (Edm.Schema.set_of_type client' etype) in
+      let key = Edm.Schema.key_of client' etype in
+      (* The type's data must already live there, keyed on the table key. *)
+      let* key_pairs =
+        let carrier =
+          List.find_opt
+            (fun (f : Mapping.Fragment.t) ->
+              Mapping.Fragment.equal_client_source f.Mapping.Fragment.client_source
+                (Mapping.Fragment.Set set)
+              && List.for_all
+                   (fun k ->
+                     match Mapping.Fragment.col_of f k with
+                     | Some c -> List.mem c tbl.Relational.Table.key
+                     | None -> false)
+                   key)
+            (Mapping.Fragments.on_table st.State.fragments table)
+        in
+        match carrier with
+        | Some f -> Ok (List.map (fun k -> (k, Option.get (Mapping.Fragment.col_of f k))) key)
+        | None -> fail "no fragment keys entity set %s on the key of table %s" set table
+      in
+      let* store' =
+        match Relational.Table.column tbl column with
+        | None ->
+            Relational.Schema.replace_table
+              (Relational.Table.add_column tbl
+                 { Relational.Table.cname = column; domain = dom; nullable = true })
+              store
+        | Some col ->
+            if Mapping.Fragments.column_used st.State.fragments ~table column then
+              fail "column %s.%s is already used by the mapping" table column
+            else if not col.Relational.Table.nullable then
+              fail "existing column %s.%s must be nullable" table column
+            else if not (Datum.Domain.subsumes ~wide:col.Relational.Table.domain ~narrow:dom)
+            then fail "dom(%s) is not contained in dom(%s.%s)" a table column
+            else Ok store
+      in
+      Ok (store', table, column, key_pairs, `Existing)
+  | To_new_table { table; fmap } ->
+      let store = st.State.env.Query.Env.store in
+      let key = Edm.Schema.key_of client' etype in
+      let* () =
+        if
+          List.length fmap = List.length key + 1
+          && List.mem_assoc a fmap
+          && List.for_all (fun k -> List.mem_assoc k fmap) key
+        then Ok ()
+        else fail "f must map the key of %s plus the new attribute" etype
+      in
+      let column = List.assoc a fmap in
+      let key_pairs = List.map (fun k -> (k, List.assoc k fmap)) key in
+      let image = List.map snd fmap in
+      let* () =
+        if List.length (List.sort_uniq String.compare image) = List.length image then Ok ()
+        else fail "f is not one-to-one"
+      in
+      let* () =
+        match List.find_opt (fun c -> not (Relational.Table.mem_column table c)) image with
+        | Some c -> fail "f targets unknown column %s.%s" table.Relational.Table.name c
+        | None -> Ok ()
+      in
+      let* () =
+        if
+          List.sort String.compare (List.map snd key_pairs)
+          = List.sort String.compare table.Relational.Table.key
+        then Ok ()
+        else fail "the key image must be the key of %s" table.Relational.Table.name
+      in
+      let* () =
+        all_ok
+          (fun c ->
+            if List.mem c image || Relational.Table.nullable table c then Ok ()
+            else
+              fail "column %s.%s is outside f and must be nullable" table.Relational.Table.name c)
+          (Relational.Table.column_names table)
+      in
+      let* store' =
+        match Relational.Schema.find_table store table.Relational.Table.name with
+        | None -> Relational.Schema.add_table table store
+        | Some existing ->
+            if not (Relational.Table.equal existing table) then
+              fail "table %s already exists with a different definition"
+                table.Relational.Table.name
+            else if
+              Mapping.Fragments.on_table st.State.fragments table.Relational.Table.name <> []
+            then fail "table %s is already mentioned in the mapping" table.Relational.Table.name
+            else Ok store
+      in
+      Ok (store', table.Relational.Table.name, column, key_pairs, `New table)
+
+let apply (st : State.t) ~etype ~attr:(a, dom) ~target =
+  let* client' = Edm.Schema.add_attribute ~etype (a, dom) st.State.env.Query.Env.client in
+  let* store', table, column, key_pairs, mode = resolve_target st client' ~etype ~attr:(a, dom) target in
+  let env' = Query.Env.make ~client:client' ~store:store' in
+  let set = Option.get (Edm.Schema.set_of_type client' etype) in
+  (* New fragment. *)
+  let phi =
+    Mapping.Fragment.entity ~set ~cond:(Query.Cond.Is_of etype) ~table
+      (key_pairs @ [ (a, column) ])
+  in
+  let fragments = Mapping.Fragments.add phi st.State.fragments in
+  (* Query views: the type, its ancestors and its descendants gain the
+     property column through a left outer join on the hierarchy key. *)
+  let key = Edm.Schema.key_of client' etype in
+  let branch =
+    Query.Algebra.Project
+      ( List.map (fun (k, c) -> Query.Algebra.col_as c k) key_pairs
+        @ [ Query.Algebra.col_as column a ],
+        Query.Algebra.Scan (Query.Algebra.Table table) )
+  in
+  let affected = Edm.Schema.ancestors client' etype @ Edm.Schema.subtypes client' etype in
+  let rec extend_ctor ctor =
+    match ctor with
+    | Query.Ctor.Entity { etype = t; _ } when Edm.Schema.is_subtype client' ~sub:t ~sup:etype ->
+        Query.Ctor.Entity { etype = t; attrs = Edm.Schema.attribute_names client' t }
+    | Query.Ctor.Entity _ | Query.Ctor.Tuple _ -> ctor
+    | Query.Ctor.If (c, x, y) -> Query.Ctor.If (c, extend_ctor x, extend_ctor y)
+  in
+  let* query_views =
+    List.fold_left
+      (fun acc f ->
+        let* acc = acc in
+        match Query.View.entity_view st.State.query_views f with
+        | None -> fail "no previous query view for entity type %s" f
+        | Some vf ->
+            let query = Query.Algebra.Left_outer_join (vf.Query.View.query, branch, key) in
+            Ok
+              (Query.View.set_entity_view f
+                 { Query.View.query; ctor = extend_ctor vf.Query.View.ctor }
+                 acc))
+      (Ok st.State.query_views) affected
+  in
+  (* Update view of the target table. *)
+  let entity_side =
+    Query.Algebra.Project
+      ( List.map (fun (k, c) -> Query.Algebra.col_as k c) key_pairs
+        @ [ Query.Algebra.col_as a column ],
+        Query.Algebra.Select
+          (Query.Cond.Is_of etype, Query.Algebra.Scan (Query.Algebra.Entity_set set)) )
+  in
+  let* update_views =
+    match mode with
+    | `New tbl ->
+        let pads =
+          List.filter_map
+            (fun c ->
+              if List.mem c (List.map snd key_pairs) || c = column then None
+              else Some (Query.Algebra.null_as c))
+            (Relational.Table.column_names tbl)
+        in
+        let qt =
+          match pads with
+          | [] -> entity_side
+          | _ -> (
+              match entity_side with
+              | Query.Algebra.Project (items, q) -> Query.Algebra.Project (items @ pads, q)
+              | q -> q)
+        in
+        Ok
+          (Query.View.set_table_view table
+             { Query.View.query = qt; ctor = Query.Ctor.Tuple (Relational.Table.column_names tbl) }
+             st.State.update_views)
+    | `Existing -> (
+        match Query.View.table_view st.State.update_views table with
+        | None -> fail "table %s has no update view" table
+        | Some vt ->
+            let tbl' = Relational.Schema.get_table store' table in
+            let qt =
+              Query.Algebra.Left_outer_join
+                (vt.Query.View.query, entity_side, tbl'.Relational.Table.key)
+            in
+            Ok
+              (Query.View.set_table_view table
+                 { Query.View.query = qt;
+                   ctor = Query.Ctor.Tuple (Relational.Table.column_names tbl') }
+                 st.State.update_views))
+  in
+  (* Validation: foreign keys of a new property table. *)
+  let* () =
+    match mode with
+    | `Existing -> Ok ()
+    | `New tbl ->
+        all_ok
+          (fun (fk : Relational.Table.foreign_key) ->
+            Algo.fk_containment env' update_views ~table:tbl.Relational.Table.name fk)
+          tbl.Relational.Table.fks
+  in
+  Ok { State.env = env'; fragments; query_views; update_views }

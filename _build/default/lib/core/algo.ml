@@ -1,0 +1,137 @@
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+let tag_for etype = "_t" ^ etype
+
+let align_union env l r =
+  let lc = Query.Algebra.columns env l and rc = Query.Algebra.columns env r in
+  let all = List.sort_uniq String.compare (lc @ rc) in
+  let pad cols q =
+    let items =
+      List.map
+        (fun c -> if List.mem c cols then Query.Algebra.col c else Query.Algebra.null_as c)
+        all
+    in
+    Query.Algebra.Project (items, q)
+  in
+  Query.Algebra.Union_all (pad lc l, pad rc r)
+
+let widen_only_p ~p ~e cond =
+  Query.Cond.map_atoms
+    (function
+      | Query.Cond.Is_of_only p' when p' = p ->
+          Query.Cond.Or (Query.Cond.Is_of_only p, Query.Cond.Is_of e)
+      | atom -> atom)
+    cond
+
+(* dp(F): descendants of F (reflexively) that lie in [between];
+   chp(F'): children of F' outside [between] ∪ {E}. *)
+let rule_out client ~between ~e cond =
+  let replacement f =
+    let dp =
+      List.filter (fun f' -> Edm.Schema.is_subtype client ~sub:f' ~sup:f) between
+    in
+    Query.Cond.disj
+      (List.map
+         (fun f' ->
+           let chp =
+             List.filter
+               (fun c -> (not (List.mem c between)) && c <> e)
+               (Edm.Schema.children client f')
+           in
+           Query.Cond.disj
+             (Query.Cond.Is_of_only f' :: List.map (fun c -> Query.Cond.Is_of c) chp))
+         dp)
+  in
+  Query.Cond.map_atoms
+    (function
+      | Query.Cond.Is_of f when List.mem f between -> replacement f
+      | atom -> atom)
+    cond
+
+let adapt_cond client ~p_ref ~between ~e cond =
+  let cond =
+    match p_ref with Some p -> widen_only_p ~p ~e cond | None -> cond
+  in
+  rule_out client ~between ~e cond
+
+let not_null_conj cols = Query.Cond.conj (List.map (fun c -> Query.Cond.Is_not_null c) cols)
+
+let fk_containment env uv ~table (fk : Relational.Table.foreign_key) =
+  match Query.View.table_view uv table, Query.View.table_view uv fk.ref_table with
+  | None, _ -> fail "table %s has no update view" table
+  | Some _, None ->
+      fail "foreign key %s -> %s references a table outside the mapping" table fk.ref_table
+  | Some vt, Some vt' ->
+      let lhs =
+        Query.Algebra.project_renamed
+          (List.combine fk.fk_columns fk.ref_columns)
+          (Query.Algebra.Select (not_null_conj fk.fk_columns, vt.Query.View.query))
+      in
+      let rhs = Query.Algebra.project_cols fk.ref_columns vt'.Query.View.query in
+      if Containment.Check.holds env lhs rhs then Ok ()
+      else
+        fail "incremental validation: update views may violate foreign key %s(%s) -> %s" table
+          (String.concat "," fk.fk_columns) fk.ref_table
+
+let assoc_endpoint_checks env frags uv ~etypes =
+  let client = env.Query.Env.client in
+  all_ok
+    (fun etype ->
+      all_ok
+        (fun (a : Edm.Association.t) ->
+          match Mapping.Fragments.of_assoc frags a.Edm.Association.name with
+          | [] -> Ok ()
+          | f :: _ -> (
+              let key = Edm.Schema.key_of client etype in
+              let end_cols = List.map (Edm.Association.qualify ~etype) key in
+              let beta =
+                List.filter_map (fun c -> Mapping.Fragment.col_of f c) end_cols
+              in
+              if List.length beta <> List.length end_cols then
+                fail "association %s does not map the %s endpoint" a.Edm.Association.name etype
+              else
+                match Query.View.table_view uv f.Mapping.Fragment.table with
+                | None -> fail "table %s has no update view" f.Mapping.Fragment.table
+                | Some vr ->
+                    let lhs =
+                      Query.Algebra.project_renamed
+                        (List.combine end_cols beta)
+                        (Query.Algebra.Scan (Query.Algebra.Assoc_set a.Edm.Association.name))
+                    in
+                    let rhs = Query.Algebra.project_cols beta vr.Query.View.query in
+                    if Containment.Check.holds env lhs rhs then Ok ()
+                    else
+                      fail
+                        "incremental validation: association %s can no longer be stored in %s"
+                        a.Edm.Association.name f.Mapping.Fragment.table))
+        (Edm.Schema.associations_on client etype))
+    etypes
+
+let recompile_set env frags ~set (st : State.t) =
+  let* set_views = Fullc.Query_views.for_set env frags ~set in
+  let touched_tables =
+    List.sort_uniq String.compare
+      (List.map (fun (f : Mapping.Fragment.t) -> f.Mapping.Fragment.table)
+         (Mapping.Fragments.of_set frags set))
+  in
+  let* update_views =
+    List.fold_left
+      (fun acc table ->
+        let* acc = acc in
+        let* v = Fullc.Update_views.for_table env frags ~table in
+        Ok (Query.View.set_table_view table v acc))
+      (Ok st.State.update_views) touched_tables
+  in
+  let query_views =
+    List.fold_left
+      (fun acc (ty, v) -> Query.View.set_entity_view ty v acc)
+      st.State.query_views set_views
+  in
+  Ok { State.env; fragments = frags; query_views; update_views }

@@ -1,0 +1,50 @@
+(** Shared building blocks of the per-SMO incremental algorithms. *)
+
+val tag_for : string -> string
+(** The fresh provenance attribute [t_E] of Algorithm 1, derived from the
+    new entity type's name. *)
+
+val align_union : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> Query.Algebra.t
+(** UNION ALL after padding each side's missing columns with [NULL] — how
+    Algorithm 1's line 18 (and Fig. 2) reconciles branches with different
+    column sets. *)
+
+val widen_only_p : p:string -> e:string -> Query.Cond.t -> Query.Cond.t
+(** Algorithm 2, lines 7–9: replace [IS OF (ONLY P)] by
+    [IS OF (ONLY P) ∨ IS OF E]. *)
+
+val rule_out : Edm.Schema.t -> between:string list -> e:string -> Query.Cond.t -> Query.Cond.t
+(** Algorithm 2, lines 10–16: for every [F] in [between] (proper ancestors of
+    [E] strictly below [P]), replace [IS OF F] by the disjunction over
+    [dp(F)] and [chp(F′)] that rules out entities of type [E]. *)
+
+val adapt_cond :
+  Edm.Schema.t -> p_ref:string option -> between:string list -> e:string ->
+  Query.Cond.t -> Query.Cond.t
+(** Both rewrites, as applied to update views (Algorithm 2) and to the
+    previous fragments Σ⁻ (Section 3.1.3). *)
+
+val not_null_conj : string list -> Query.Cond.t
+
+val fk_containment :
+  Query.Env.t -> Query.View.update_views -> table:string ->
+  Relational.Table.foreign_key -> (unit, string) result
+(** One foreign-key preservation test over update views (SQL simple-match
+    semantics: null references are exempt).  Proof failure is an error, as
+    the incremental compiler aborts on unprovable checks. *)
+
+val assoc_endpoint_checks :
+  Query.Env.t -> Mapping.Fragments.t -> Query.View.update_views -> etypes:string list ->
+  (unit, string) result
+(** Check 1 of Section 3.1.4 for every association having one of the given
+    types as an endpoint: the association's endpoint keys must still be
+    storable in the table its fragment maps to, under the {e new} update
+    views. *)
+
+val recompile_set :
+  Query.Env.t -> Mapping.Fragments.t -> set:string -> State.t -> (State.t, string) result
+(** Neighborhood recompilation: regenerate the query views of one entity
+    set's hierarchy and the update views of the tables its fragments touch,
+    leaving every other view untouched.  Used by the SMOs for which the
+    paper gives no incremental view-surgery recipe (DropEntity on non-trivial
+    neighborhoods, Refactor). *)

@@ -1,0 +1,11 @@
+(** Dropping an association — the inverse of [AddAssocFK]/[AddAssocJT],
+    completing the add/drop vocabulary Section 3.4 asks of an SMO set.
+
+    The association's fragment disappears; its query view is removed; the
+    update view of its table is regenerated from the remaining fragments
+    (for a key/foreign-key mapping the foreign-key column reverts to an
+    unmapped NULL-padded column; a join table loses its view entirely).
+    Dropping rows can only shrink foreign-key sources, but the touched
+    table's keys are re-checked for safety. *)
+
+val apply : State.t -> assoc:string -> (State.t, string) result

@@ -1,0 +1,60 @@
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+let apply (st : State.t) ~etype ~attr =
+  let client = st.State.env.Query.Env.client in
+  let* set =
+    match Edm.Schema.set_of_type client etype with
+    | Some s -> Ok s
+    | None -> fail "unknown entity type %s" etype
+  in
+  let* client' = Edm.Schema.remove_attribute ~etype attr client in
+  (* No fragment may condition on the attribute. *)
+  let* () =
+    all_ok
+      (fun (f : Mapping.Fragment.t) ->
+        if List.mem attr (Query.Cond.columns f.Mapping.Fragment.client_cond) then
+          fail "attribute %s is tested by fragment %s; drop not supported" attr
+            (Mapping.Fragment.show f)
+        else Ok ())
+      (Mapping.Fragments.of_set st.State.fragments set)
+  in
+  let key = Edm.Schema.key_of client etype in
+  let before_tables = Mapping.Fragments.tables st.State.fragments in
+  let fragments =
+    Mapping.Fragments.to_list st.State.fragments
+    |> List.filter_map (fun (f : Mapping.Fragment.t) ->
+           if
+             not
+               (Mapping.Fragment.equal_client_source f.Mapping.Fragment.client_source
+                  (Mapping.Fragment.Set set))
+           then Some f
+           else if not (List.mem attr (Mapping.Fragment.attrs f)) then Some f
+           else
+             let pairs = List.filter (fun (a, _) -> a <> attr) f.Mapping.Fragment.pairs in
+             (* A fragment left with nothing but the key carried only this
+                property: drop it. *)
+             if List.for_all (fun (a, _) -> List.mem a key) pairs then None
+             else Some { f with Mapping.Fragment.pairs })
+    |> Mapping.Fragments.of_list
+  in
+  let env' = Query.Env.make ~client:client' ~store:st.State.env.Query.Env.store in
+  (* Every concrete type of the hierarchy must still be covered. *)
+  let* () =
+    all_ok
+      (fun ty -> Mapping.Coverage.attribute_coverage env' fragments ~etype:ty)
+      (Edm.Schema.subtypes client' (Edm.Schema.root_of client' etype))
+  in
+  let after_tables = Mapping.Fragments.tables fragments in
+  let orphaned = List.filter (fun t -> not (List.mem t after_tables)) before_tables in
+  let update_views =
+    List.fold_left (fun uv t -> Query.View.remove_table_view t uv) st.State.update_views orphaned
+  in
+  let st' = { State.env = env'; fragments; query_views = st.State.query_views; update_views } in
+  Algo.recompile_set env' fragments ~set st'

@@ -1,0 +1,14 @@
+(** Dropping an attribute of an existing entity type — the inverse of
+    [AddProperty].
+
+    Preconditions: the attribute is declared (not inherited) and non-key,
+    and no fragment's client condition tests it (partitioned mappings keyed
+    on the attribute cannot lose it).  Fragments projecting the attribute
+    lose the pair; a fragment left projecting only key attributes while a
+    sibling fragment still carries the type's data is removed outright.
+    Views of the affected set regenerate from the adapted fragments (the
+    neighborhood), and the surviving coverage of every concrete type is
+    re-checked — dropping an attribute can never lose {e other} data, but
+    the checks guard the fragment surgery itself. *)
+
+val apply : State.t -> etype:string -> attr:string -> (State.t, string) result

@@ -1,0 +1,33 @@
+let apply st = function
+  | Smo.Add_entity { entity; alpha; p_ref; table; fmap } ->
+      Add_entity.apply st ~entity ~alpha ~p_ref ~table ~fmap
+  | Smo.Add_entity_part { entity; p_ref; parts } -> Add_entity_part.apply st ~entity ~p_ref ~parts
+  | Smo.Add_entity_tph { entity; table; fmap; discriminator } ->
+      Add_entity_tph.apply st ~entity ~table ~fmap ~discriminator
+  | Smo.Add_assoc_fk { assoc; table; fmap } -> Add_assoc_fk.apply st ~assoc ~table ~fmap
+  | Smo.Add_assoc_jt { assoc; table; fmap } -> Add_assoc_jt.apply st ~assoc ~table ~fmap
+  | Smo.Add_property { etype; attr; target } -> Add_property.apply st ~etype ~attr ~target
+  | Smo.Drop_entity { etype } -> Drop_entity.apply st ~etype
+  | Smo.Drop_association { assoc } -> Drop_assoc.apply st ~assoc
+  | Smo.Drop_property { etype; attr } -> Drop_property.apply st ~etype ~attr
+  | Smo.Widen_attribute { etype; attr; domain } -> Modify_facet.widen_attribute st ~etype ~attr domain
+  | Smo.Set_multiplicity { assoc; mult } -> Modify_facet.set_multiplicity st ~assoc mult
+  | Smo.Refactor { assoc } -> Refactor.apply st ~assoc
+
+let apply_all st smos = List.fold_left (fun acc smo -> Result.bind acc (fun st -> apply st smo)) (Ok st) smos
+
+type timing = {
+  smo : string;
+  seconds : float;
+  containment : Containment.Stats.snapshot;
+}
+
+let apply_timed st smo =
+  let before = Containment.Stats.read () in
+  let t0 = Unix.gettimeofday () in
+  match apply st smo with
+  | Error e -> Error e
+  | Ok st' ->
+      let seconds = Unix.gettimeofday () -. t0 in
+      let containment = Containment.Stats.diff before (Containment.Stats.read ()) in
+      Ok (st', { smo = Smo.name smo; seconds; containment })

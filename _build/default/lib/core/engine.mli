@@ -1,0 +1,20 @@
+(** The incremental mapping compiler's entry point — the architecture of
+    Fig. 7: take a validated, compiled state, apply one SMO, and either
+    produce the evolved state (new schemas, adapted fragments, incrementally
+    recompiled query and update views) or abort with the previous state
+    intact. *)
+
+val apply : State.t -> Smo.t -> (State.t, string) result
+
+val apply_all : State.t -> Smo.t list -> (State.t, string) result
+(** Left-to-right; the first failure aborts the whole sequence. *)
+
+type timing = {
+  smo : string;                           (** {!Smo.name} *)
+  seconds : float;
+  containment : Containment.Stats.snapshot;  (** checker work during the SMO *)
+}
+
+val apply_timed : State.t -> Smo.t -> (State.t * timing, string) result
+(** Wall-clock and containment-checker accounting for one application — the
+    measurement underlying Figs. 9 and 10. *)

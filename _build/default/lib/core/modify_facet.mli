@@ -1,0 +1,25 @@
+(** Facet modifications — the last items of the paper's Section 3.4 wish
+    list: "modify some facets (e.g., data type and cardinality)".
+
+    {b Widening an attribute's domain} keeps the fragments and views as they
+    are, provided every store column the attribute maps to already subsumes
+    the new domain (checked fragment by fragment; attributes also used as
+    foreign-key sources keep their column domains, which the store schema
+    enforces separately).  Narrowing is rejected — it could orphan stored
+    values.
+
+    {b Changing an association's multiplicity} is a client-side constraint
+    change.  Loosening (towards [*]) is always safe.  Tightening the second
+    endpoint below [*] requires the association to be stored keyed by the
+    first endpoint (the [AddAssocFK] layout, where the store can hold at
+    most one partner per entity); a join-table mapping stores arbitrary
+    pairs, so the tightened constraint cannot be guaranteed and the SMO
+    aborts. *)
+
+val widen_attribute :
+  State.t -> etype:string -> attr:string -> Datum.Domain.t -> (State.t, string) result
+
+val set_multiplicity :
+  State.t -> assoc:string ->
+  Edm.Association.multiplicity * Edm.Association.multiplicity ->
+  (State.t, string) result

@@ -1,0 +1,119 @@
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+let apply (st : State.t) ~assoc =
+  let client = st.State.env.Query.Env.client in
+  let* a =
+    match Edm.Schema.find_association client assoc with
+    | Some a -> Ok a
+    | None -> fail "unknown association %s" assoc
+  in
+  let e1 = a.Edm.Association.end1 and e2 = a.Edm.Association.end2 in
+  let* () =
+    match a.Edm.Association.mult1, a.Edm.Association.mult2 with
+    | Edm.Association.One, (Edm.Association.Zero_or_one | Edm.Association.One) -> Ok ()
+    | _, _ -> fail "Refactor requires a 1 – 0..1 association, %s is not" assoc
+  in
+  let* () =
+    match Edm.Schema.parent client e2 with
+    | None -> Ok ()
+    | Some _ -> fail "Refactor requires %s to be a hierarchy root" e2
+  in
+  let* set2 =
+    match Edm.Schema.set_of_type client e2 with
+    | Some s -> Ok s
+    | None -> fail "entity type %s belongs to no set" e2
+  in
+  let* assoc_frag =
+    match Mapping.Fragments.of_assoc st.State.fragments assoc with
+    | [ f ] -> Ok f
+    | [] -> fail "association %s has no mapping fragment" assoc
+    | _ -> fail "association %s has several mapping fragments" assoc
+  in
+  let t2 = assoc_frag.Mapping.Fragment.table in
+  let key1 = Edm.Schema.key_of client e1 in
+  let cols1 = List.map (Edm.Association.qualify ~etype:e1) key1 in
+  let* f_pk1 =
+    let images = List.filter_map (fun c -> Mapping.Fragment.col_of assoc_frag c) cols1 in
+    if List.length images = List.length cols1 then Ok images
+    else fail "association fragment does not map the %s endpoint" e1
+  in
+  (* Supported shape: all of E2's subtree maps to the association's table. *)
+  let e2_frags = Mapping.Fragments.of_set st.State.fragments set2 in
+  let* () =
+    match
+      List.find_opt (fun (f : Mapping.Fragment.t) -> f.Mapping.Fragment.table <> t2) e2_frags
+    with
+    | Some f ->
+        fail "Refactor supports single-table subtrees; fragment %s maps elsewhere"
+          (Mapping.Fragment.show f)
+    | None -> Ok ()
+  in
+  (* Client schema: drop the association, reparent E2 under E1. *)
+  let* client' = Edm.Schema.remove_association assoc client in
+  let* client' = Edm.Schema.reparent ~etype:e2 ~parent:e1 client' in
+  let env' = Query.Env.make ~client:client' ~store:st.State.env.Query.Env.store in
+  let* set1 =
+    match Edm.Schema.set_of_type client' e1 with
+    | Some s -> Ok s
+    | None -> fail "entity type %s belongs to no set" e1
+  in
+  (* Fragments: E2's move into set1, keyed by the inherited key through
+     f(PK1); E1-side ONLY conditions widen to admit the subtree; the
+     association fragment disappears. *)
+  let key_pairs = List.combine key1 f_pk1 in
+  let fragments =
+    Mapping.Fragments.to_list st.State.fragments
+    |> List.filter_map (fun (f : Mapping.Fragment.t) ->
+           if Mapping.Fragment.equal f assoc_frag then None
+           else if
+             Mapping.Fragment.equal_client_source f.Mapping.Fragment.client_source
+               (Mapping.Fragment.Set set2)
+           then
+             Some
+               {
+                 f with
+                 Mapping.Fragment.client_source = Mapping.Fragment.Set set1;
+                 client_cond =
+                   Query.Cond.simplify
+                     (Query.Cond.And (Query.Cond.Is_of e2, f.Mapping.Fragment.client_cond));
+                 pairs = key_pairs @ f.Mapping.Fragment.pairs;
+               }
+           else
+             Some
+               {
+                 f with
+                 Mapping.Fragment.client_cond =
+                   Algo.widen_only_p ~p:e1 ~e:e2 f.Mapping.Fragment.client_cond;
+               })
+    |> Mapping.Fragments.of_list
+  in
+  (* Coverage of the reparented subtree (inherited attributes included). *)
+  let* () =
+    all_ok
+      (fun ty -> Mapping.Coverage.attribute_coverage env' fragments ~etype:ty)
+      (Edm.Schema.subtypes client' e2)
+  in
+  (* Views: drop the association view and the stale E2-subtree views, then
+     regenerate the merged hierarchy. *)
+  let query_views = Query.View.remove_assoc_view assoc st.State.query_views in
+  let st' = { State.env = env'; fragments; query_views; update_views = st.State.update_views } in
+  let* st' = Algo.recompile_set env' fragments ~set:set1 st' in
+  (* Foreign keys of the subtree's table must keep resolving. *)
+  let* () =
+    match Relational.Schema.find_table env'.Query.Env.store t2 with
+    | None -> Ok ()
+    | Some tbl ->
+        all_ok
+          (fun (fk : Relational.Table.foreign_key) ->
+            if Query.View.table_view st'.State.update_views fk.ref_table = None then Ok ()
+            else Algo.fk_containment env' st'.State.update_views ~table:t2 fk)
+          tbl.Relational.Table.fks
+  in
+  Ok st'

@@ -1,0 +1,81 @@
+type entry = { smo : Smo.t; timing : Engine.timing }
+
+type event =
+  | Applied of entry
+  | Checkpointed of string
+  | Rolled_back of string
+
+type t = {
+  initial : State.t;
+  past : (State.t * entry) list;        (* newest first; state BEFORE the smo *)
+  present : State.t;
+  future : (State.t * entry) list;      (* undone, newest undo first *)
+  checkpoints : (string * int) list;    (* name -> length of [past] at the mark *)
+  events : event list;                  (* newest first *)
+}
+
+let start present =
+  { initial = present; past = []; present; future = []; checkpoints = []; events = [] }
+
+let current t = t.present
+
+let apply t smo =
+  match Engine.apply_timed t.present smo with
+  | Error e -> Error e
+  | Ok (next, timing) ->
+      let entry = { smo; timing } in
+      Ok
+        {
+          t with
+          past = (t.present, entry) :: t.past;
+          present = next;
+          future = [];
+          events = Applied entry :: t.events;
+        }
+
+let undo t =
+  match t.past with
+  | [] -> None
+  | (before, entry) :: past ->
+      Some { t with past; present = before; future = (t.present, entry) :: t.future }
+
+let redo t =
+  match t.future with
+  | [] -> None
+  | (after, entry) :: future ->
+      Some { t with past = (t.present, entry) :: t.past; present = after; future }
+
+let history t = List.rev_map (fun (_, e) -> e) t.past
+
+let checkpoint ~name t =
+  {
+    t with
+    checkpoints = (name, List.length t.past) :: List.remove_assoc name t.checkpoints;
+    events = Checkpointed name :: t.events;
+  }
+
+let rollback_to ~name t =
+  match List.assoc_opt name t.checkpoints with
+  | None -> Error (Printf.sprintf "unknown checkpoint %s" name)
+  | Some depth ->
+      let rec unwind t =
+        if List.length t.past <= depth then t
+        else match undo t with Some t -> unwind t | None -> t
+      in
+      let t = unwind t in
+      Ok { t with future = []; events = Rolled_back name :: t.events }
+
+let log t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun event ->
+      Buffer.add_string b
+        (match event with
+        | Applied { smo; timing } ->
+            Printf.sprintf "applied   %-40s %.2f ms (%d containment checks)\n" (Smo.show smo)
+              (timing.Engine.seconds *. 1000.)
+              timing.Engine.containment.Containment.Stats.checks
+        | Checkpointed name -> Printf.sprintf "checkpoint %s\n" name
+        | Rolled_back name -> Printf.sprintf "rollback  -> %s\n" name))
+    (List.rev t.events);
+  Buffer.contents b

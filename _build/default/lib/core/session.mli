@@ -1,0 +1,38 @@
+(** Interactive compilation sessions.
+
+    The paper's workflow (Fig. 7) is conversational: the developer issues an
+    SMO, the compiler either commits the evolved model or "undoes its
+    changes to the schemas and update views and returns an exception".  A
+    session wraps that loop: it records every accepted SMO with its timing,
+    keeps the full state history for undo/redo, and supports named
+    checkpoints for coarse rollback — cheap, because states are immutable
+    values. *)
+
+type entry = { smo : Smo.t; timing : Engine.timing }
+
+type t
+
+val start : State.t -> t
+val current : t -> State.t
+
+val apply : t -> Smo.t -> (t, string) result
+(** Apply incrementally and record; on validation failure the session is
+    unchanged (the "abort" arrow of Fig. 7). *)
+
+val undo : t -> t option
+(** Step back over the last accepted SMO; [None] at the initial state. *)
+
+val redo : t -> t option
+(** Re-apply the last undone SMO; [None] if nothing was undone.  Applying a
+    new SMO clears the redo trail. *)
+
+val history : t -> entry list
+(** Accepted SMOs, oldest first. *)
+
+val checkpoint : name:string -> t -> t
+val rollback_to : name:string -> t -> (t, string) result
+(** Return to the named checkpoint, dropping the SMOs after it (they remain
+    visible in {!log} as rolled back). *)
+
+val log : t -> string
+(** A human-readable session transcript: SMOs, timings, checkpoints. *)

@@ -1,0 +1,30 @@
+type t = {
+  env : Query.Env.t;
+  fragments : Mapping.Fragments.t;
+  query_views : Query.View.query_views;
+  update_views : Query.View.update_views;
+}
+
+let of_compiled env fragments (c : Fullc.Compile.t) =
+  {
+    env;
+    fragments;
+    query_views = c.Fullc.Compile.query_views;
+    update_views = c.Fullc.Compile.update_views;
+  }
+
+let bootstrap env fragments =
+  Result.map (of_compiled env fragments) (Fullc.Compile.compile env fragments)
+
+let empty ~client ~store =
+  {
+    env = Query.Env.make ~client ~store;
+    fragments = Mapping.Fragments.empty;
+    query_views = Query.View.no_query_views;
+    update_views = Query.View.no_update_views;
+  }
+
+let roundtrip_ok t inst =
+  Result.map
+    (fun back -> Edm.Instance.equal back inst)
+    (Query.View.roundtrip t.env t.query_views t.update_views inst)

@@ -1,0 +1,1 @@
+lib/datum/domain.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/datum/domain.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/datum/row.pp.ml: Format List Map String Value

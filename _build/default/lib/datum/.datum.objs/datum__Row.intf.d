@@ -1,0 +1,1 @@
+lib/datum/row.pp.mli: Format Value

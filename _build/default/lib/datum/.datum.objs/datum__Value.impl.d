@@ -1,0 +1,1 @@
+lib/datum/value.pp.ml: Domain List Ppx_deriving_runtime Printf

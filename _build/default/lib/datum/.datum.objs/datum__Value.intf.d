@@ -1,0 +1,1 @@
+lib/datum/value.pp.mli: Domain Format

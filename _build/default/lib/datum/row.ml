@@ -1,0 +1,45 @@
+module M = Map.Make (String)
+
+type t = Value.t M.t
+
+let empty = M.empty
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let to_list r = M.bindings r
+let find c r = M.find_opt c r
+let get c r = M.find c r
+let mem c r = M.mem c r
+let add c v r = M.add c v r
+let remove c r = M.remove c r
+let columns r = List.map fst (M.bindings r)
+let cardinal r = M.cardinal r
+
+let project cols r =
+  List.fold_left
+    (fun acc c -> match M.find_opt c r with None -> acc | Some v -> M.add c v acc)
+    M.empty cols
+
+let rename pairs r =
+  List.fold_left
+    (fun acc (src, dst) ->
+      match M.find_opt src r with None -> acc | Some v -> M.add dst v acc)
+    M.empty pairs
+
+let union a b = M.union (fun _ va _ -> Some va) a b
+
+let restrict_equal cols a b =
+  List.for_all
+    (fun c ->
+      match M.find_opt c a, M.find_opt c b with
+      | Some va, Some vb -> Value.equal va vb
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+    cols
+
+let equal a b = M.equal Value.equal a b
+let compare a b = M.compare Value.compare a b
+
+let pp fmt r =
+  let pp_binding fmt (c, v) = Format.fprintf fmt "%s=%a" c Value.pp v in
+  Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ") pp_binding) (to_list r)
+
+let show r = Format.asprintf "%a" pp r

@@ -1,0 +1,41 @@
+(** Rows: finite maps from column names to values.
+
+    Rows are the common currency of the whole stack — store tuples, entity
+    attribute records, association tuples, and the intermediate results of
+    view evaluation all are rows. *)
+
+type t
+
+val empty : t
+val of_list : (string * Value.t) list -> t
+val to_list : t -> (string * Value.t) list
+(** Bindings in ascending column-name order. *)
+
+val find : string -> t -> Value.t option
+val get : string -> t -> Value.t
+(** @raise Not_found if the column is absent. *)
+
+val mem : string -> t -> bool
+val add : string -> Value.t -> t -> t
+val remove : string -> t -> t
+val columns : t -> string list
+val cardinal : t -> int
+
+val project : string list -> t -> t
+(** Keep only the named columns.  Absent columns are silently dropped, so
+    projection never invents bindings. *)
+
+val rename : (string * string) list -> t -> t
+(** [rename [ (src, dst); ... ] r] rebuilds [r] keeping only the listed
+    source columns, bound under their destination names. *)
+
+val union : t -> t -> t
+(** Left-biased union: bindings of the first row win on clashes. *)
+
+val restrict_equal : string list -> t -> t -> bool
+(** Whether the two rows agree (by {!Value.equal}) on every listed column. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string

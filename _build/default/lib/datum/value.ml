@@ -1,0 +1,33 @@
+type t =
+  | Null
+  | Int of int
+  | String of string
+  | Bool of bool
+  | Decimal of float
+[@@deriving eq, ord, show { with_path = false }]
+
+let is_null = function Null -> true | Int _ | String _ | Bool _ | Decimal _ -> false
+
+let domain = function
+  | Null -> None
+  | Int _ -> Some Domain.Int
+  | String _ -> Some Domain.String
+  | Bool _ -> Some Domain.Bool
+  | Decimal _ -> Some Domain.Decimal
+
+let member v d =
+  match v, d with
+  | Null, _ -> true
+  | String s, Domain.Enum values -> List.mem s values
+  | _, _ -> (
+      match domain v with
+      | None -> true
+      | Some dv -> Domain.subsumes ~wide:d ~narrow:dv)
+
+let to_literal = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | String s -> Printf.sprintf "'%s'" s
+  | Bool true -> "True"
+  | Bool false -> "False"
+  | Decimal f -> Printf.sprintf "%g" f

@@ -1,0 +1,31 @@
+(** Runtime values, including SQL-style [Null].
+
+    Values populate rows of store tables, attribute records of entities, and
+    constant casts inside views (e.g. [CAST (NULL AS nvarchar) AS BillAddr]
+    or [True AS _from2] in Fig. 2 of the paper). *)
+
+type t =
+  | Null
+  | Int of int
+  | String of string
+  | Bool of bool
+  | Decimal of float
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val is_null : t -> bool
+
+val domain : t -> Domain.t option
+(** [domain v] is the domain of [v], or [None] for [Null] (which inhabits
+    every nullable column). *)
+
+val member : t -> Domain.t -> bool
+(** [member v d] holds when [v] is [Null] or a value of domain [d] (modulo
+    the [Int] into [Decimal] embedding). *)
+
+val to_literal : t -> string
+(** SQL-ish literal rendering: strings quoted, booleans [True]/[False],
+    [NULL] for null. *)

@@ -1,0 +1,1 @@
+lib/dml/delta.pp.ml: Datum Edm Format List Result

@@ -1,0 +1,1 @@
+lib/dml/delta.pp.mli: Datum Edm Format

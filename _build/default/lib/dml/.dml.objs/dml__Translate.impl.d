@@ -1,0 +1,1 @@
+lib/dml/translate.pp.ml: Buffer Datum Delta Format List Printf Query Relational Result String

@@ -1,0 +1,1 @@
+lib/dml/translate.pp.mli: Datum Delta Edm Format Query Relational

@@ -1,0 +1,43 @@
+(** Update translation: client deltas to store DML through the update views.
+
+    The roundtripping guarantee makes translation conceptually simple — the
+    update views determine the store state of any client state — and this
+    module turns that into *incremental* DML: materialize the store images
+    of the pre- and post-states through the views, then diff each table by
+    primary key into INSERT/UPDATE/DELETE statements.  The result applies
+    the exact effect of the client delta (property-tested: applying the
+    script to the old store yields the new store, and reading the new store
+    back through the query views yields the updated client state — the
+    "exactly the effect of U" criterion of Section 1.1). *)
+
+type store_op =
+  | Insert_row of { table : string; row : Datum.Row.t }
+  | Delete_row of { table : string; key : Datum.Row.t }
+  | Update_row of { table : string; key : Datum.Row.t; changes : (string * Datum.Value.t) list }
+
+type script = store_op list
+
+val pp_store_op : Format.formatter -> store_op -> unit
+val pp_script : Format.formatter -> script -> unit
+
+val to_sql : script -> string
+(** Render as INSERT/UPDATE/DELETE statements (presentation syntax). *)
+
+val diff_stores :
+  Relational.Schema.t -> old_store:Relational.Instance.t -> new_store:Relational.Instance.t ->
+  script
+(** Per-table, keyed diff.  Deletes are emitted before inserts and updates
+    table-by-table; cross-table ordering follows foreign-key topology where
+    possible (referenced tables' inserts first, deletes last). *)
+
+val translate :
+  Query.Env.t -> Query.View.update_views -> old_client:Edm.Instance.t -> delta:Delta.t ->
+  (script * Edm.Instance.t * Relational.Instance.t, string) result
+(** Apply the delta to the client state, push both states through the update
+    views, and diff.  Returns the script together with the new client and
+    store states. *)
+
+val apply_script :
+  Relational.Instance.t -> script -> (Relational.Instance.t, string) result
+(** Execute the DML against a store state (keys must exist/not exist as the
+    operations require). *)

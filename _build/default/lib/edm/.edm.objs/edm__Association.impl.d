@@ -1,0 +1,1 @@
+lib/edm/association.pp.ml: List Ppx_deriving_runtime

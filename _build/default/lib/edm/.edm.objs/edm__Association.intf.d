@@ -1,0 +1,1 @@
+lib/edm/association.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/edm/entity_type.pp.ml: Datum List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/edm/entity_type.pp.mli: Datum Format

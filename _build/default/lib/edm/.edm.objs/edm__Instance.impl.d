@@ -1,0 +1,1 @@
+lib/edm/instance.pp.ml: Association Datum Format List Map Option Result Schema String

@@ -1,0 +1,1 @@
+lib/edm/instance.pp.mli: Datum Format Schema

@@ -1,0 +1,1 @@
+lib/edm/schema.pp.ml: Association Datum Entity_type Format List Map Printf Result String

@@ -1,0 +1,1 @@
+lib/edm/schema.pp.mli: Association Datum Entity_type Format

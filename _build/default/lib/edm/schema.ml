@@ -1,0 +1,300 @@
+module M = Map.Make (String)
+
+type t = {
+  ty : Entity_type.t M.t;        (* entity types by name *)
+  sets : string M.t;             (* entity-set name -> root type name *)
+  assocs : Association.t M.t;    (* associations by name *)
+}
+
+let empty = { ty = M.empty; sets = M.empty; assocs = M.empty }
+
+let ( let* ) r f = Result.bind r f
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let mem_type t name = M.mem name t.ty
+let find_type t name = M.find_opt name t.ty
+
+let get_type t name =
+  match M.find_opt name t.ty with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Edm.Schema: unknown entity type %s" name)
+
+let types t = List.map snd (M.bindings t.ty)
+let parent t name = (get_type t name).Entity_type.parent
+
+let children t name =
+  M.fold
+    (fun _ (e : Entity_type.t) acc -> if e.parent = Some name then e.name :: acc else acc)
+    t.ty []
+  |> List.sort String.compare
+
+let ancestors t name =
+  let rec up acc n =
+    match parent t n with None -> List.rev acc | Some p -> up (p :: acc) p
+  in
+  up [] name
+
+let rec descendants t name =
+  List.concat_map (fun c -> c :: descendants t c) (children t name)
+
+let subtypes t name = name :: descendants t name
+let is_subtype t ~sub ~sup = sub = sup || List.mem sup (ancestors t sub)
+let is_proper_ancestor t ~anc ~descendant = anc <> descendant && List.mem anc (ancestors t descendant)
+
+let root_of t name =
+  match ancestors t name with [] -> name | l -> List.nth l (List.length l - 1)
+
+let strictly_between t ~low ~high =
+  let ancs = ancestors t low in
+  match high with
+  | None -> ancs
+  | Some h -> List.filter (fun a -> a <> h && is_proper_ancestor t ~anc:h ~descendant:a) ancs
+
+(* att(E): root's attributes first, then each level down to E. *)
+let attributes t name =
+  let chain = List.rev (name :: ancestors t name) in
+  List.concat_map (fun n -> (get_type t n).Entity_type.declared) chain
+
+let attribute_names t name = List.map fst (attributes t name)
+let attribute_domain t name a = List.assoc_opt a (attributes t name)
+let key_of t name = (get_type t (root_of t name)).Entity_type.key
+
+let attribute_nullable t name a =
+  if List.mem a (key_of t name) then false
+  else
+    let chain = name :: ancestors t name in
+    not
+      (List.exists
+         (fun n ->
+           let e = get_type t n in
+           List.mem a e.Entity_type.non_null && List.mem_assoc a e.Entity_type.declared)
+         chain)
+
+let entity_sets t = M.bindings t.sets
+let set_root t set = M.find_opt set t.sets
+
+let set_of_type t name =
+  if not (mem_type t name) then None
+  else
+    let root = root_of t name in
+    M.fold (fun set r acc -> if r = root then Some set else acc) t.sets None
+
+let associations t = List.map snd (M.bindings t.assocs)
+let find_association t name = M.find_opt name t.assocs
+
+let associations_on t etype =
+  List.filter (fun (a : Association.t) -> a.end1 = etype || a.end2 = etype) (associations t)
+
+let association_columns t (a : Association.t) =
+  Association.end1_columns a ~key:(key_of t a.end1)
+  @ Association.end2_columns a ~key:(key_of t a.end2)
+
+(* -- construction -------------------------------------------------------- *)
+
+let check_fresh_type t name =
+  if mem_type t name then fail "entity type %s already exists" name else Ok ()
+
+let check_no_shadowing t ~parent declared =
+  let inherited = attribute_names t parent in
+  match List.find_opt (fun (a, _) -> List.mem a inherited) declared with
+  | Some (a, _) -> fail "attribute %s shadows an inherited attribute of %s" a parent
+  | None -> Ok ()
+
+let add_root ~set (e : Entity_type.t) t =
+  let* () = check_fresh_type t e.name in
+  let* () = if e.parent <> None then fail "type %s is not a root" e.name else Ok () in
+  let* () = if e.key = [] then fail "root type %s has no key" e.name else Ok () in
+  let* () =
+    match List.find_opt (fun k -> not (List.mem_assoc k e.declared)) e.key with
+    | Some k -> fail "key attribute %s of %s is not declared" k e.name
+    | None -> Ok ()
+  in
+  let* () = if M.mem set t.sets then fail "entity set %s already exists" set else Ok () in
+  Ok { t with ty = M.add e.name e t.ty; sets = M.add set e.name t.sets }
+
+let add_derived (e : Entity_type.t) t =
+  let* () = check_fresh_type t e.name in
+  let* p = match e.parent with Some p -> Ok p | None -> fail "type %s has no parent" e.name in
+  let* () = if not (mem_type t p) then fail "unknown parent type %s" p else Ok () in
+  let* () = if e.key <> [] then fail "derived type %s must not declare a key" e.name else Ok () in
+  let* () = check_no_shadowing t ~parent:p e.declared in
+  Ok { t with ty = M.add e.name e t.ty }
+
+let add_association (a : Association.t) t =
+  let* () =
+    if M.mem a.name t.assocs then fail "association %s already exists" a.name else Ok ()
+  in
+  let* () = if not (mem_type t a.end1) then fail "unknown endpoint type %s" a.end1 else Ok () in
+  let* () = if not (mem_type t a.end2) then fail "unknown endpoint type %s" a.end2 else Ok () in
+  let* () = if a.end1 = a.end2 then fail "self-association %s is not supported" a.name else Ok () in
+  Ok { t with assocs = M.add a.name a t.assocs }
+
+let remove_association name t =
+  if M.mem name t.assocs then Ok { t with assocs = M.remove name t.assocs }
+  else fail "unknown association %s" name
+
+let remove_type name t =
+  if not (mem_type t name) then fail "unknown entity type %s" name
+  else if children t name <> [] then fail "entity type %s has derived types" name
+  else if associations_on t name <> [] then fail "entity type %s is an association endpoint" name
+  else
+    let sets =
+      match set_of_type t name, parent t name with
+      | Some set, None -> M.remove set t.sets
+      | _, _ -> t.sets
+    in
+    Ok { t with ty = M.remove name t.ty; sets }
+
+let remove_subtree name t =
+  if not (mem_type t name) then fail "unknown entity type %s" name
+  else
+    (* Remove leaves first so [remove_type] invariants hold at each step. *)
+    let victims = List.rev (subtypes t name) in
+    List.fold_left (fun acc n -> Result.bind acc (remove_type n)) (Ok t) victims
+
+let add_attribute ~etype (a, dom) t =
+  let* e =
+    match find_type t etype with Some e -> Ok e | None -> fail "unknown entity type %s" etype
+  in
+  let clashes n = List.mem a (attribute_names t n) in
+  if clashes etype then fail "attribute %s already exists on %s" a etype
+  else
+    match List.find_opt (fun d -> List.mem a (Entity_type.declared_names (get_type t d))) (descendants t etype) with
+    | Some d -> fail "attribute %s would shadow a declaration in descendant %s" a d
+    | None ->
+        let e = { e with Entity_type.declared = e.Entity_type.declared @ [ (a, dom) ] } in
+        Ok { t with ty = M.add etype e t.ty }
+
+let remove_attribute ~etype a t =
+  let* e =
+    match find_type t etype with Some e -> Ok e | None -> fail "unknown entity type %s" etype
+  in
+  if not (List.mem_assoc a e.Entity_type.declared) then
+    fail "attribute %s is not declared by %s" a etype
+  else if List.mem a (key_of t etype) then fail "cannot remove key attribute %s" a
+  else
+    let e =
+      {
+        e with
+        Entity_type.declared = List.filter (fun (a', _) -> a' <> a) e.Entity_type.declared;
+        non_null = List.filter (fun a' -> a' <> a) e.Entity_type.non_null;
+      }
+    in
+    Ok { t with ty = M.add etype e t.ty }
+
+let widen_attribute ~etype a dom t =
+  let* e =
+    match find_type t etype with Some e -> Ok e | None -> fail "unknown entity type %s" etype
+  in
+  match List.assoc_opt a e.Entity_type.declared with
+  | None -> fail "attribute %s is not declared by %s" a etype
+  | Some old ->
+      if not (Datum.Domain.subsumes ~wide:dom ~narrow:old) then
+        fail "new domain of %s.%s does not subsume the old one" etype a
+      else
+        let e =
+          {
+            e with
+            Entity_type.declared =
+              List.map (fun (a', d) -> if a' = a then (a', dom) else (a', d)) e.Entity_type.declared;
+          }
+        in
+        Ok { t with ty = M.add etype e t.ty }
+
+let set_multiplicity ~assoc (mult1, mult2) t =
+  match M.find_opt assoc t.assocs with
+  | None -> fail "unknown association %s" assoc
+  | Some a -> Ok { t with assocs = M.add assoc { a with Association.mult1; mult2 } t.assocs }
+
+let reparent ~etype ~parent:p t =
+  let* e =
+    match find_type t etype with Some e -> Ok e | None -> fail "unknown entity type %s" etype
+  in
+  let* () = if not (mem_type t p) then fail "unknown parent type %s" p else Ok () in
+  let* () = if e.Entity_type.parent <> None then fail "type %s is not a root" etype else Ok () in
+  let* () =
+    if is_subtype t ~sub:p ~sup:etype then fail "reparenting %s under %s would form a cycle" etype p
+    else Ok ()
+  in
+  (* The old key columns stay as plain attributes; drop them from declared if
+     they clash with the new ancestry, which we reject instead of merging. *)
+  let inherited = attribute_names t p in
+  let* () =
+    match List.find_opt (fun (a, _) -> List.mem a inherited) e.Entity_type.declared with
+    | Some (a, _) -> fail "attribute %s of %s clashes with the new ancestry" a etype
+    | None -> Ok ()
+  in
+  let e = { e with Entity_type.parent = Some p; key = [] } in
+  let sets = M.filter (fun _ r -> r <> etype) t.sets in
+  Ok { t with ty = M.add etype e t.ty; sets }
+
+(* -- whole-schema check -------------------------------------------------- *)
+
+let well_formed t =
+  let check_type (e : Entity_type.t) =
+    let* () =
+      match e.parent with
+      | None ->
+          if e.key = [] then fail "root %s has no key" e.name
+          else if List.for_all (fun k -> List.mem_assoc k e.declared) e.key then Ok ()
+          else fail "root %s has an undeclared key attribute" e.name
+      | Some p ->
+          let* () = if mem_type t p then Ok () else fail "%s has unknown parent %s" e.name p in
+          let* () = if e.key = [] then Ok () else fail "derived type %s declares a key" e.name in
+          (* Cycle detection: walking up must terminate within |types| steps. *)
+          let rec walk n seen =
+            match parent t n with
+            | None -> Ok ()
+            | Some p when List.mem p seen -> fail "inheritance cycle through %s" p
+            | Some p -> walk p (p :: seen)
+          in
+          let* () = walk e.name [ e.name ] in
+          check_no_shadowing t ~parent:p e.declared
+    in
+    match set_of_type t e.name with
+    | Some _ -> Ok ()
+    | None -> fail "entity type %s belongs to no entity set" e.name
+  in
+  let* () = List.fold_left (fun acc e -> Result.bind acc (fun () -> check_type e)) (Ok ()) (types t) in
+  let* () =
+    List.fold_left
+      (fun acc (set, root) ->
+        let* () = acc in
+        match find_type t root with
+        | Some r when r.Entity_type.parent = None -> Ok ()
+        | Some _ -> fail "entity set %s is rooted at non-root %s" set root
+        | None -> fail "entity set %s is rooted at unknown type %s" set root)
+      (Ok ()) (entity_sets t)
+  in
+  List.fold_left
+    (fun acc (a : Association.t) ->
+      let* () = acc in
+      if not (mem_type t a.end1) then fail "association %s has unknown endpoint %s" a.name a.end1
+      else if not (mem_type t a.end2) then fail "association %s has unknown endpoint %s" a.name a.end2
+      else Ok ())
+    (Ok ()) (associations t)
+
+let equal a b =
+  M.equal Entity_type.equal a.ty b.ty
+  && M.equal String.equal a.sets b.sets
+  && M.equal Association.equal a.assocs b.assocs
+
+let pp fmt t =
+  let pp_type fmt (e : Entity_type.t) =
+    let pp_attr fmt (a, d) = Format.fprintf fmt "%s:%a" a Datum.Domain.pp d in
+    Format.fprintf fmt "  %s%s(%a)%s" e.name
+      (match e.parent with None -> "" | Some p -> " : " ^ p)
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_attr)
+      e.declared
+      (match e.key with [] -> "" | k -> " key " ^ String.concat "," k)
+  in
+  Format.fprintf fmt "@[<v>entity types:@,%a@,sets: %a@,associations: %a@]"
+    (Format.pp_print_list pp_type) (types t)
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt (s, r) -> Format.fprintf fmt "%s<%s>" s r))
+    (entity_sets t)
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt (a : Association.t) -> Format.fprintf fmt "%s(%s,%s)" a.name a.end1 a.end2))
+    (associations t)
+
+let show t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/fullc/cells.pp.ml: Datum List Mapping Printf Query Result String

@@ -1,0 +1,1 @@
+lib/fullc/cells.pp.mli: Mapping Query

@@ -1,0 +1,1 @@
+lib/fullc/compile.pp.ml: Query Query_views Result Update_views Validate

@@ -1,0 +1,1 @@
+lib/fullc/compile.pp.mli: Mapping Query Validate

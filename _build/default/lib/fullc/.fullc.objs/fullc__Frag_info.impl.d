@@ -1,0 +1,1 @@
+lib/fullc/frag_info.pp.ml: List Mapping Printf Query

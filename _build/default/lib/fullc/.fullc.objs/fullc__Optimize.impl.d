@@ -1,0 +1,1 @@
+lib/fullc/optimize.pp.ml: Edm List Mapping Query String

@@ -1,0 +1,1 @@
+lib/fullc/optimize.pp.mli: Mapping Query

@@ -1,0 +1,1 @@
+lib/fullc/query_views.pp.ml: Datum Edm Format Frag_info List Mapping Optimize Query Result String

@@ -1,0 +1,1 @@
+lib/fullc/query_views.pp.mli: Mapping Query

@@ -1,0 +1,1 @@
+lib/fullc/update_views.pp.ml: Format Frag_info List Mapping Optimize Query Relational Result

@@ -1,0 +1,1 @@
+lib/fullc/update_views.pp.mli: Mapping Query

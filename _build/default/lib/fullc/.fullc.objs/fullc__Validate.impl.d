@@ -1,0 +1,1 @@
+lib/fullc/validate.pp.ml: Cells Containment Edm Format Frag_info List Mapping Option Query Relational Result String

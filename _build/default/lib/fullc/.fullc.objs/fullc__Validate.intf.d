@@ -1,0 +1,1 @@
+lib/fullc/validate.pp.mli: Mapping Query

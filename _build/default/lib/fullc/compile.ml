@@ -1,0 +1,16 @@
+type t = {
+  query_views : Query.View.query_views;
+  update_views : Query.View.update_views;
+  report : Validate.report;
+}
+
+let ( let* ) = Result.bind
+
+let compile ?(validate = true) ?(optimize = false) env frags =
+  let* update_views = Update_views.all ~optimize env frags in
+  let* report =
+    if validate then Validate.run env frags update_views
+    else Ok { Validate.cells_visited = 0; containment_checks = 0; covered_types = 0 }
+  in
+  let* query_views = Query_views.all ~optimize env frags in
+  Ok { query_views; update_views; report }

@@ -1,0 +1,18 @@
+(** The full (non-incremental) mapping compiler — the paper's baseline.
+
+    Pipeline: generate update views, run full validation (including the
+    exponential cell partitioning of {!Cells}), then generate query views.
+    Compilation aborts on validation failure without producing views. *)
+
+type t = {
+  query_views : Query.View.query_views;
+  update_views : Query.View.update_views;
+  report : Validate.report;
+}
+
+val compile :
+  ?validate:bool -> ?optimize:bool ->
+  Query.Env.t -> Mapping.Fragments.t -> (t, string) result
+(** [?validate] defaults to [true]; benchmarks use [~validate:false] to
+    isolate view-generation cost.  [?optimize] (default false) runs the
+    Section-6 view optimizer ({!Optimize}) during view generation. *)

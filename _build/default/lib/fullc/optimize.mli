@@ -1,0 +1,36 @@
+(** View optimization — the first future-work item of the paper's Section 6:
+    "leverage schema constraints to reduce costly operations like full outer
+    joins into cheaper operations, such as UNION ALL and left outer joins".
+    (The incremental compiler produces those shapes directly; this module
+    gives the full compiler the same ability, so the two routes can be
+    compared — the ablation the paper calls for.)
+
+    The fused views combine one branch per fragment with FULL OUTER JOINs on
+    a key.  Fragment-level reasoning (the {!Query.Cover} decision procedure
+    over client conditions) justifies two rewrites, applied greedily in
+    branch order:
+
+    - a branch whose client region is {e disjoint} from every branch placed
+      so far (TPC tables, TPH discriminator regions, AddEntityPart ranges)
+      joins nothing: it moves to a padded UNION ALL after the join tree;
+    - a branch whose client region is {e contained} in some already-placed
+      branch (a TPT child below its parent, an association anchored on an
+      entity fragment of the same table) always finds its partner: the FULL
+      OUTER JOIN weakens to a LEFT OUTER JOIN.
+
+    The output columns are exactly those of the original FOJ chain, so the
+    surrounding projection and constructor are untouched; equivalence is
+    property-tested against the unoptimized views. *)
+
+val combine :
+  Query.Env.t ->
+  key:string list ->
+  (Mapping.Fragment.t * Query.Algebra.t) list ->
+  Query.Algebra.t
+(** [combine env ~key branches] builds the optimized join/union tree for the
+    tagged per-fragment branches, in the given (fragment) order.  With no
+    applicable rewrite the result is the plain left-nested FOJ chain. *)
+
+val stats : Query.Algebra.t -> int * int * int
+(** (full outer joins, left outer joins, unions) in a query — the ablation
+    metric. *)

@@ -1,0 +1,200 @@
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let indexed frags = List.mapi (fun i f -> (i, f)) frags
+
+(* Hierarchy attributes in root-first declaration order. *)
+let hierarchy_attrs client root =
+  List.concat_map
+    (fun ty ->
+      match Edm.Schema.find_type client ty with
+      | Some e -> Edm.Entity_type.declared_names e
+      | None -> [])
+    (Edm.Schema.subtypes client root)
+  |> List.fold_left (fun acc a -> if List.mem a acc then acc else acc @ [ a ]) []
+
+(* Tagged store query of one fragment: key columns under their attribute
+   names, other mapped attributes under fragment-local names, client-side
+   determined constants re-materialized, plus the provenance flag. *)
+let tagged_store_query key i (f : Mapping.Fragment.t) =
+  let base =
+    let scan = Query.Algebra.Scan (Query.Algebra.Table f.Mapping.Fragment.table) in
+    match f.Mapping.Fragment.store_cond with
+    | Query.Cond.True -> scan
+    | c -> Query.Algebra.Select (c, scan)
+  in
+  let items =
+    List.map
+      (fun (a, c) ->
+        if List.mem a key then Query.Algebra.col_as c a
+        else Query.Algebra.col_as c (Frag_info.local_name a i))
+      f.Mapping.Fragment.pairs
+    @ List.filter_map
+        (fun (a, v) ->
+          if List.mem a key || List.mem a (Mapping.Fragment.attrs f) then None
+          else Some (Query.Algebra.const v (Frag_info.local_name a i)))
+        (Frag_info.determined_constants f.Mapping.Fragment.client_cond)
+    @ [ Query.Algebra.tag (Frag_info.tag_name i) ]
+  in
+  Query.Algebra.Project (items, base)
+
+let fused_query ?(optimize = false) env frags ~set =
+  let client = env.Query.Env.client in
+  let* root =
+    match Edm.Schema.set_root client set with
+    | Some r -> Ok r
+    | None -> fail "unknown entity set %s" set
+  in
+  let* set_frags =
+    match Mapping.Fragments.of_set frags set with
+    | [] -> fail "entity set %s has no mapping fragments" set
+    | l -> Ok l
+  in
+  let key = Edm.Schema.key_of client root in
+  let ifr = indexed set_frags in
+  let tagged = List.map (fun (i, f) -> tagged_store_query key i f) ifr in
+  let combined =
+    if optimize then
+      Optimize.combine env ~key (List.map2 (fun (_, f) b -> (f, b)) ifr tagged)
+    else
+      match tagged with
+      | [] -> assert false
+      | first :: rest ->
+          List.fold_left (fun acc q -> Query.Algebra.Full_outer_join (acc, q, key)) first rest
+  in
+  let attrs = hierarchy_attrs client root in
+  let items =
+    List.map
+      (fun a ->
+        if List.mem a key then Query.Algebra.col a
+        else
+          Frag_info.fuse_item
+            (Frag_info.sources_for ifr a ~attr_of:Mapping.Fragment.attrs
+               ~cond_of:(fun f -> f.Mapping.Fragment.client_cond))
+            a)
+      attrs
+    @ List.map (fun (i, _) -> Query.Algebra.col (Frag_info.tag_name i)) ifr
+  in
+  Ok (root, ifr, Query.Algebra.Project (items, combined))
+
+(* Fragments that must / may contain entities of exactly [etype]. *)
+let cover_split client ifr ~etype =
+  let must, may =
+    List.partition
+      (fun (_, f) -> Query.Cover.tautology client ~etype f.Mapping.Fragment.client_cond)
+      (List.filter
+         (fun (_, f) -> Query.Cover.satisfiable client ~etype f.Mapping.Fragment.client_cond)
+         ifr)
+  in
+  (must, may)
+
+let flag_true i = Query.Cond.Cmp (Frag_info.tag_name i, Query.Cond.Eq, Datum.Value.Bool true)
+
+let guard_of_split (must, may) =
+  match must, may with
+  | [], [] -> None
+  | _, _ ->
+      let conj = List.map (fun (i, _) -> flag_true i) must in
+      let disj = List.map (fun (i, _) -> flag_true i) may in
+      let parts = conj @ (match disj with [] -> [] | _ -> [ Query.Cond.disj disj ]) in
+      Some (Query.Cond.conj parts)
+
+let type_guard env frags ~set ~etype =
+  let* _root, ifr, _q = fused_query env frags ~set in
+  Ok (guard_of_split (cover_split env.Query.Env.client ifr ~etype))
+
+(* Order concrete types for the CASE: most constrained first. *)
+let case_order client ifr types =
+  let depth ty = List.length (Edm.Schema.ancestors client ty) in
+  let weight ty =
+    let must, may = cover_split client ifr ~etype:ty in
+    List.length must + List.length may
+  in
+  List.sort
+    (fun a b ->
+      match compare (weight b) (weight a) with
+      | 0 -> ( match compare (depth b) (depth a) with 0 -> String.compare a b | c -> c)
+      | c -> c)
+    types
+
+let for_set ?(optimize = false) env frags ~set =
+  let client = env.Query.Env.client in
+  let* root, ifr, fused = fused_query ~optimize env frags ~set in
+  let types = Edm.Schema.subtypes client root in
+  let covered =
+    List.filter_map
+      (fun ty ->
+        match guard_of_split (cover_split client ifr ~etype:ty) with
+        | Some g -> Some (ty, Query.Cond.simplify g)
+        | None -> None)
+      (case_order client ifr types)
+  in
+  let* () =
+    match covered with [] -> fail "no entity type of set %s is covered" set | _ -> Ok ()
+  in
+  let leaf ty = Query.Ctor.Entity { etype = ty; attrs = Edm.Schema.attribute_names client ty } in
+  let rec build = function
+    | [] -> assert false
+    | [ (ty, _) ] -> leaf ty
+    | (ty, g) :: rest -> Query.Ctor.If (g, leaf ty, build rest)
+  in
+  let ctor = build covered in
+  let member_guard ty =
+    Query.Cond.simplify
+      (Query.Cond.disj
+         (List.filter_map
+            (fun (ty', g) ->
+              if Edm.Schema.is_subtype client ~sub:ty' ~sup:ty then Some g else None)
+            covered))
+  in
+  Ok
+    (List.map
+       (fun ty ->
+         let query =
+           if ty = root then fused else Query.Algebra.Select (member_guard ty, fused)
+         in
+         (ty, { Query.View.query; ctor }))
+       types)
+
+let for_assoc env frags ~assoc =
+  let client = env.Query.Env.client in
+  let* a =
+    match Edm.Schema.find_association client assoc with
+    | Some a -> Ok a
+    | None -> fail "unknown association %s" assoc
+  in
+  let* f =
+    match Mapping.Fragments.of_assoc frags assoc with
+    | [ f ] -> Ok f
+    | [] -> fail "association %s has no mapping fragment" assoc
+    | _ -> fail "association %s has several mapping fragments" assoc
+  in
+  let base =
+    let scan = Query.Algebra.Scan (Query.Algebra.Table f.Mapping.Fragment.table) in
+    match f.Mapping.Fragment.store_cond with
+    | Query.Cond.True -> scan
+    | c -> Query.Algebra.Select (c, scan)
+  in
+  let items =
+    List.map (fun (ac, c) -> Query.Algebra.col_as c ac) f.Mapping.Fragment.pairs
+  in
+  let cols = Edm.Schema.association_columns client a in
+  Ok { Query.View.query = Query.Algebra.Project (items, base); ctor = Query.Ctor.Tuple cols }
+
+let all ?(optimize = false) env frags =
+  let client = env.Query.Env.client in
+  let* qv =
+    List.fold_left
+      (fun acc (set, _root) ->
+        let* acc = acc in
+        let* views = for_set ~optimize env frags ~set in
+        Ok (List.fold_left (fun acc (ty, v) -> Query.View.set_entity_view ty v acc) acc views))
+      (Ok Query.View.no_query_views)
+      (Edm.Schema.entity_sets client)
+  in
+  List.fold_left
+    (fun acc (a : Edm.Association.t) ->
+      let* acc = acc in
+      let* v = for_assoc env frags ~assoc:a.Edm.Association.name in
+      Ok (Query.View.set_assoc_view a.Edm.Association.name v acc))
+    (Ok qv) (Edm.Schema.associations client)

@@ -1,0 +1,36 @@
+(** Full-compilation query-view generation.
+
+    The generic route the paper attributes to Entity Framework's compiler
+    (Section 6): the per-fragment store queries of an entity set are fused
+    with FULL OUTER JOINs on the hierarchy key, per-fragment columns are
+    merged with COALESCE, provenance flags track which fragments contributed
+    to a row, and the constructor is a CASE over those flags choosing the
+    most specific entity type (the shape of Fig. 2, before the incremental
+    compiler's direct LOJ/UNION-ALL optimizations).
+
+    One view is produced per entity {e type} — the root type's view doubles
+    as the entity-set view; a derived type's view filters the set view by the
+    membership guard of its subtree. *)
+
+val for_set :
+  ?optimize:bool ->
+  Query.Env.t -> Mapping.Fragments.t -> set:string ->
+  ((string * Query.View.t) list, string) result
+(** Views for every concrete type of the set's hierarchy, root first.
+    [?optimize] (default false) applies the Section-6 FOJ-to-LOJ/UNION
+    rewrites of {!Optimize}. *)
+
+val for_assoc :
+  Query.Env.t -> Mapping.Fragments.t -> assoc:string -> (Query.View.t, string) result
+
+val all :
+  ?optimize:bool ->
+  Query.Env.t -> Mapping.Fragments.t -> (Query.View.query_views, string) result
+(** Views for every entity type and association set of the client schema.
+    Fails when a set or association has no mapping fragments. *)
+
+val type_guard :
+  Query.Env.t -> Mapping.Fragments.t -> set:string -> etype:string ->
+  (Query.Cond.t option, string) result
+(** The provenance-flag condition under which a fused row represents an
+    entity of exactly [etype]; [None] when no fragment covers the type. *)

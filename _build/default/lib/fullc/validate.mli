@@ -1,0 +1,37 @@
+(** Full mapping validation — Algorithm 1 of Melnik et al. [13], as the
+    paper recounts it in Section 1.2:
+
+    (1) the left sides of the mapping fragments are one-to-one: decided over
+    the store-side {e cell partitioning} of every table (the exponential
+    enumeration of {!Cells}), rejecting cells in which two fragments of the
+    same entity set write incompatible data to shared columns;
+
+    (2)–(4) update views preserve integrity constraints: attribute coverage
+    per concrete type (no client data loss — the Section 3.3 tautology
+    test), nullability of unmapped columns, and one query-containment check
+    per foreign key over the generated update views;
+
+    (5) the composition of mapping and update views is the identity — by
+    construction of the generated views given (1)–(4), and verified
+    empirically by the instance-level roundtrip harness in the test suite
+    (symbolic identity checking over the fused FOJ views would require exact
+    outer-join containment, which the checker deliberately approximates).
+
+    Failure of any step aborts compilation, as in the paper. *)
+
+type report = {
+  cells_visited : int;         (** total cells enumerated across tables *)
+  containment_checks : int;    (** foreign-key containment tests run *)
+  covered_types : int;         (** concrete types whose attributes all map *)
+}
+
+val run :
+  Query.Env.t -> Mapping.Fragments.t -> Query.View.update_views ->
+  (report, string) result
+
+val attribute_coverage :
+  Query.Env.t -> Mapping.Fragments.t -> etype:string -> (unit, string) result
+(** The per-type data-loss check: every attribute of the exact type is, for
+    every attribute valuation, either projected or forced to a constant by
+    some fragment whose ψ holds — the paper's tautology condition from
+    Section 3.3, reused by [AddEntityPart]. *)

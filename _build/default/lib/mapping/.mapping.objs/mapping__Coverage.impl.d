@@ -1,0 +1,1 @@
+lib/mapping/coverage.pp.ml: Edm Format Fragment Fragments List Query Result

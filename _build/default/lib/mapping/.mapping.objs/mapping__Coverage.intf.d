@@ -1,0 +1,1 @@
+lib/mapping/coverage.pp.mli: Datum Fragments Query

@@ -1,0 +1,1 @@
+lib/mapping/fragment.pp.ml: Datum Edm Format List Ppx_deriving_runtime Query Relational Result String

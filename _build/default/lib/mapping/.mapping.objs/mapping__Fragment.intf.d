@@ -1,0 +1,1 @@
+lib/mapping/fragment.pp.mli: Edm Format Query Relational

@@ -1,0 +1,1 @@
+lib/mapping/fragments.pp.ml: Format Fragment List Result String

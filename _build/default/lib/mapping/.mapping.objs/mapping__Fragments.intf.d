@@ -1,0 +1,1 @@
+lib/mapping/fragments.pp.mli: Edm Format Fragment Query Relational

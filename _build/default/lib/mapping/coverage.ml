@@ -1,0 +1,42 @@
+let rec conjuncts = function
+  | Query.Cond.And (a, b) -> conjuncts a @ conjuncts b
+  | c -> [ c ]
+
+let determined_constants cond =
+  List.filter_map
+    (function Query.Cond.Cmp (a, Query.Cond.Eq, v) -> Some (a, v) | _ -> None)
+    (conjuncts cond)
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+let attribute_coverage env frags ~etype =
+  let client = env.Query.Env.client in
+  let* set =
+    match Edm.Schema.set_of_type client etype with
+    | Some s -> Ok s
+    | None -> fail "entity type %s belongs to no set" etype
+  in
+  let set_frags = Fragments.of_set frags set in
+  all_ok
+    (fun (attr, _dom) ->
+      let covering =
+        List.filter_map
+          (fun (f : Fragment.t) ->
+            let cond = f.Fragment.client_cond in
+            if
+              List.mem attr (Fragment.attrs f)
+              || List.mem_assoc attr (determined_constants cond)
+            then Some cond
+            else None)
+          set_frags
+      in
+      if Query.Cover.tautology client ~etype (Query.Cond.disj covering) then Ok ()
+      else fail "attribute %s of entity type %s is not covered by the mapping" attr etype)
+    (Edm.Schema.attributes client etype)

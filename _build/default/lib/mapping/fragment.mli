@@ -1,0 +1,58 @@
+(** Mapping fragments (Section 2.1): constraints of the form
+
+    {v π_α(σ_ψ(E)) = π_β(σ_χ(R)) v}
+
+    relating a project–select query over one client source (an entity set or
+    an association set) to a project–select query over one store table.  The
+    projections are aligned pairwise: [pairs] lists [(client attribute,
+    store column)] correspondences, which must cover a key. *)
+
+type client_source = Set of string | Assoc of string
+
+type t = {
+  client_source : client_source;
+  client_cond : Query.Cond.t;              (** ψ — AND-OR of IS OF / null / comparison atoms *)
+  pairs : (string * string) list;          (** α ↔ β, in order *)
+  table : string;                          (** R *)
+  store_cond : Query.Cond.t;               (** χ — no type atoms *)
+}
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal_client_source : client_source -> client_source -> bool
+
+val entity : set:string -> cond:Query.Cond.t -> table:string ->
+  ?store_cond:Query.Cond.t -> (string * string) list -> t
+val assoc : assoc:string -> table:string -> ?store_cond:Query.Cond.t ->
+  (string * string) list -> t
+
+val attrs : t -> string list
+(** α — the client-side projection, in order. *)
+
+val cols : t -> string list
+(** β — the store-side projection, in order. *)
+
+val col_of : t -> string -> string option
+val attr_of : t -> string -> string option
+
+val client_query : t -> Query.Algebra.t
+(** [π_α(σ_ψ(E))], over client attribute names. *)
+
+val store_query : t -> Query.Algebra.t
+(** [π_β(σ_χ(R))] with β renamed to α, so both sides share an output
+    schema. *)
+
+val store_query_raw : t -> Query.Algebra.t
+(** [π_β(σ_χ(R))] under the store column names. *)
+
+val holds : Query.Env.t -> Edm.Instance.t -> Relational.Instance.t -> t -> bool
+(** Whether the pair of states satisfies the fragment equation (set
+    semantics) — the building block of the mapping's semantics. *)
+
+val well_formed : Query.Env.t -> t -> (unit, string) result
+(** Sources and columns exist, projections are aligned and duplicate-free and
+    cover the client key, ψ only mentions client attributes and types of the
+    fragment's hierarchy, χ is type-free, and every paired column's domain
+    subsumes its attribute's domain. *)

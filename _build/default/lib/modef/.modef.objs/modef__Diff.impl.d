@@ -1,0 +1,1 @@
+lib/modef/diff.pp.ml: Core Datum Edm Format List Mapping Option Query Relational Result Style

@@ -1,0 +1,1 @@
+lib/modef/diff.pp.mli: Core Edm

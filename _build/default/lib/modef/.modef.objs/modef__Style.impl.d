@@ -1,0 +1,1 @@
+lib/modef/style.pp.ml: Edm List Mapping Ppx_deriving_runtime Query Relational

@@ -1,0 +1,1 @@
+lib/modef/style.pp.mli: Format Mapping Query

@@ -1,0 +1,1 @@
+lib/query/algebra.pp.ml: Cond Datum Edm Env Format List Ppx_deriving_runtime Relational Result String

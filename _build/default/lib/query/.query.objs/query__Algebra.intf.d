@@ -1,0 +1,1 @@
+lib/query/algebra.pp.mli: Cond Datum Env Format

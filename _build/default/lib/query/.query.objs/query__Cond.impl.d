@@ -1,0 +1,1 @@
+lib/query/cond.pp.ml: Datum Edm Env Format List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/query/cond.pp.mli: Datum Edm Format

@@ -1,0 +1,1 @@
+lib/query/cover.pp.ml: Cond Datum Edm Env List

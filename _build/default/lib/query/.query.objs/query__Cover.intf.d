@@ -1,0 +1,1 @@
+lib/query/cover.pp.mli: Cond Edm

@@ -1,0 +1,1 @@
+lib/query/ctor.pp.ml: Cond Datum Edm Format List Option Ppx_deriving_runtime String

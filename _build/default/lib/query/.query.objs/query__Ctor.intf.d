@@ -1,0 +1,1 @@
+lib/query/ctor.pp.mli: Cond Datum Edm Format

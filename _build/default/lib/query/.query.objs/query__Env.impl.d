@@ -1,0 +1,1 @@
+lib/query/env.pp.ml: Edm List Printf Relational String

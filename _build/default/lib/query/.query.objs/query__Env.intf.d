@@ -1,0 +1,1 @@
+lib/query/env.pp.mli: Edm Relational

@@ -1,0 +1,1 @@
+lib/query/eval.pp.ml: Algebra Cond Datum Edm Env List Option Relational

@@ -1,0 +1,1 @@
+lib/query/eval.pp.mli: Algebra Datum Edm Env Relational

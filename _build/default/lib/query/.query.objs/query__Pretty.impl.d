@@ -1,0 +1,1 @@
+lib/query/pretty.pp.ml: Algebra Cond Ctor Datum Format List Printf String View

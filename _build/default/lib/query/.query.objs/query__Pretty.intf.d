@@ -1,0 +1,1 @@
+lib/query/pretty.pp.mli: Algebra Format View

@@ -1,0 +1,1 @@
+lib/query/simplify.pp.ml: Algebra Cond Ctor List View

@@ -1,0 +1,1 @@
+lib/query/simplify.pp.mli: Algebra Env View

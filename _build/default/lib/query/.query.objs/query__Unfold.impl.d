@@ -1,0 +1,1 @@
+lib/query/unfold.pp.ml: Algebra Cond Ctor Edm Env Format Result Simplify View

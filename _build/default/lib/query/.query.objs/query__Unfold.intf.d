@@ -1,0 +1,1 @@
+lib/query/unfold.pp.mli: Algebra Env View

@@ -1,0 +1,1 @@
+lib/query/view.pp.ml: Algebra Ctor Datum Edm Env Eval Format List Map Relational Result String

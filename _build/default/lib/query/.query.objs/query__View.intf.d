@@ -1,0 +1,1 @@
+lib/query/view.pp.mli: Algebra Ctor Edm Env Format Map Relational

@@ -1,0 +1,152 @@
+type source = Entity_set of string | Assoc_set of string | Table of string
+[@@deriving eq, ord, show { with_path = false }]
+
+type proj_item =
+  | Col of { src : string; dst : string }
+  | Const of { value : Datum.Value.t; dst : string }
+  | Coalesce of { srcs : string list; dst : string }
+[@@deriving eq, ord]
+
+type t =
+  | Scan of source
+  | Select of Cond.t * t
+  | Project of proj_item list * t
+  | Join of t * t * string list
+  | Left_outer_join of t * t * string list
+  | Full_outer_join of t * t * string list
+  | Union_all of t * t
+[@@deriving eq, ord]
+
+let col a = Col { src = a; dst = a }
+let col_as src dst = Col { src; dst }
+let const value dst = Const { value; dst }
+let tag t = Const { value = Datum.Value.Bool true; dst = t }
+let null_as dst = Const { value = Datum.Value.Null; dst }
+let coalesce srcs dst = Coalesce { srcs; dst }
+let project_cols cols q = Project (List.map col cols, q)
+let project_renamed pairs q = Project (List.map (fun (src, dst) -> col_as src dst) pairs, q)
+let dst_of = function Col { dst; _ } -> dst | Const { dst; _ } -> dst | Coalesce { dst; _ } -> dst
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let source_columns env = function
+  | Entity_set s -> (
+      match Edm.Schema.set_root env.Env.client s with
+      | Some _ -> Ok (Env.entity_set_columns env s)
+      | None -> fail "unknown entity set %s" s)
+  | Assoc_set a -> (
+      match Edm.Schema.find_association env.Env.client a with
+      | Some _ -> Ok (Env.assoc_set_columns env a)
+      | None -> fail "unknown association set %s" a)
+  | Table t -> (
+      match Relational.Schema.find_table env.Env.store t with
+      | Some _ -> Ok (Env.table_columns env t)
+      | None -> fail "unknown table %s" t)
+
+let check_cond cols c =
+  let missing = List.filter (fun a -> not (List.mem a cols)) (Cond.columns c) in
+  let* () =
+    match missing with
+    | [] -> Ok ()
+    | a :: _ -> fail "condition %s references absent column %s" (Cond.show c) a
+  in
+  if Cond.type_atoms c <> [] && not (List.mem Env.type_column cols) then
+    fail "type test in %s over rows without a dynamic type" (Cond.show c)
+  else Ok ()
+
+let rec infer env = function
+  | Scan src -> source_columns env src
+  | Select (c, q) ->
+      let* cols = infer env q in
+      let* () = check_cond cols c in
+      Ok cols
+  | Project (items, q) ->
+      let* cols = infer env q in
+      let* () =
+        match
+          List.find_opt
+            (function
+              | Col { src; _ } -> not (List.mem src cols)
+              | Coalesce { srcs; _ } -> srcs = [] || List.exists (fun s -> not (List.mem s cols)) srcs
+              | Const _ -> false)
+            items
+        with
+        | Some (Col { src; _ }) -> fail "projection of absent column %s" src
+        | Some (Coalesce { srcs; dst }) ->
+            fail "coalesce into %s over absent or empty sources {%s}" dst (String.concat "," srcs)
+        | Some (Const _) | None -> Ok ()
+      in
+      let dsts = List.map dst_of items in
+      let sorted = List.sort String.compare dsts in
+      let rec dup = function
+        | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+        | [ _ ] | [] -> None
+      in
+      (match dup sorted with
+      | Some d -> fail "duplicate projected column %s" d
+      | None -> Ok dsts)
+  | Join (l, r, on) | Left_outer_join (l, r, on) | Full_outer_join (l, r, on) ->
+      let* lc = infer env l in
+      let* rc = infer env r in
+      let* () =
+        match List.find_opt (fun c -> not (List.mem c lc && List.mem c rc)) on with
+        | Some c -> fail "join column %s missing on one side" c
+        | None -> Ok ()
+      in
+      let clash = List.filter (fun c -> List.mem c lc && not (List.mem c on)) rc in
+      (match clash with
+      | c :: _ -> fail "non-join column %s appears on both join sides" c
+      | [] -> Ok (lc @ List.filter (fun c -> not (List.mem c on)) rc))
+  | Union_all (l, r) ->
+      let* lc = infer env l in
+      let* rc = infer env r in
+      if List.sort String.compare lc = List.sort String.compare rc then Ok lc
+      else
+        fail "union sides disagree: {%s} vs {%s}" (String.concat "," lc) (String.concat "," rc)
+
+let columns env q =
+  match infer env q with
+  | Ok cols -> cols
+  | Error e -> invalid_arg ("Query.Algebra.columns: " ^ e)
+
+let rec sources_acc acc = function
+  | Scan s -> if List.exists (equal_source s) acc then acc else s :: acc
+  | Select (_, q) | Project (_, q) -> sources_acc acc q
+  | Join (l, r, _) | Left_outer_join (l, r, _) | Full_outer_join (l, r, _) | Union_all (l, r) ->
+      sources_acc (sources_acc acc l) r
+
+let sources q = List.rev (sources_acc [] q)
+
+let rec map_conditions f = function
+  | Scan s -> Scan s
+  | Select (c, q) -> Select (f c, map_conditions f q)
+  | Project (items, q) -> Project (items, map_conditions f q)
+  | Join (l, r, on) -> Join (map_conditions f l, map_conditions f r, on)
+  | Left_outer_join (l, r, on) -> Left_outer_join (map_conditions f l, map_conditions f r, on)
+  | Full_outer_join (l, r, on) -> Full_outer_join (map_conditions f l, map_conditions f r, on)
+  | Union_all (l, r) -> Union_all (map_conditions f l, map_conditions f r)
+
+let pp_item fmt = function
+  | Col { src; dst } when src = dst -> Format.pp_print_string fmt src
+  | Col { src; dst } -> Format.fprintf fmt "%s AS %s" src dst
+  | Const { value; dst } -> Format.fprintf fmt "%s AS %s" (Datum.Value.to_literal value) dst
+  | Coalesce { srcs; dst } -> Format.fprintf fmt "COALESCE(%s) AS %s" (String.concat "," srcs) dst
+
+let rec pp fmt = function
+  | Scan (Entity_set s) -> Format.fprintf fmt "%s" s
+  | Scan (Assoc_set a) -> Format.fprintf fmt "%s" a
+  | Scan (Table t) -> Format.fprintf fmt "%s" t
+  | Select (c, q) -> Format.fprintf fmt "@[σ[%a]@,(%a)@]" Cond.pp c pp q
+  | Project (items, q) ->
+      Format.fprintf fmt "@[π[%a]@,(%a)@]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_item)
+        items pp q
+  | Join (l, r, on) -> Format.fprintf fmt "@[(%a@ ⋈{%s}@ %a)@]" pp l (String.concat "," on) pp r
+  | Left_outer_join (l, r, on) ->
+      Format.fprintf fmt "@[(%a@ ⟕{%s}@ %a)@]" pp l (String.concat "," on) pp r
+  | Full_outer_join (l, r, on) ->
+      Format.fprintf fmt "@[(%a@ ⟗{%s}@ %a)@]" pp l (String.concat "," on) pp r
+  | Union_all (l, r) -> Format.fprintf fmt "@[(%a@ ∪@ %a)@]" pp l pp r
+
+let show q = Format.asprintf "%a" pp q

@@ -1,0 +1,76 @@
+(** The relational algebra in which mapping fragments and compiled views are
+    expressed: project–select over entity sets, association sets and tables,
+    plus the join, outer-join and union operators that view generation
+    introduces (Fig. 2 of the paper shows all of them at work).
+
+    Joins are natural equi-joins on an explicit list of shared column names —
+    exactly the shape the paper's algorithms build (join on key columns after
+    renaming).  In outer joins, missing sides pad with [NULL]; full outer
+    joins coalesce the join columns. *)
+
+type source =
+  | Entity_set of string
+  | Assoc_set of string
+  | Table of string
+
+type proj_item =
+  | Col of { src : string; dst : string }
+      (** [src AS dst]; plain projection when [src = dst]. *)
+  | Const of { value : Datum.Value.t; dst : string }
+      (** [CAST (v AS _) AS dst] — null padding and provenance flags. *)
+  | Coalesce of { srcs : string list; dst : string }
+      (** [COALESCE(srcs...) AS dst] — the first non-null source, [NULL] if
+          all are null.  The full compiler's generic full-outer-join route
+          uses it to fuse per-fragment columns. *)
+
+type t =
+  | Scan of source
+  | Select of Cond.t * t
+  | Project of proj_item list * t
+  | Join of t * t * string list
+  | Left_outer_join of t * t * string list
+  | Full_outer_join of t * t * string list
+  | Union_all of t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val equal_source : source -> source -> bool
+val compare_source : source -> source -> int
+val pp_source : Format.formatter -> source -> unit
+
+val col : string -> proj_item
+(** [col a] is [Col {src = a; dst = a}]. *)
+
+val col_as : string -> string -> proj_item
+(** [col_as src dst]. *)
+
+val const : Datum.Value.t -> string -> proj_item
+val tag : string -> proj_item
+(** [tag t] is [true AS t] — the provenance flags of Algorithm 1. *)
+
+val null_as : string -> proj_item
+val coalesce : string list -> string -> proj_item
+val project_cols : string list -> t -> t
+val project_renamed : (string * string) list -> t -> t
+(** [(src, dst)] pairs. *)
+
+val dst_of : proj_item -> string
+
+val infer : Env.t -> t -> (string list, string) result
+(** Output columns, in producer order; also a full well-formedness check:
+    sources exist, selected/projected/joined columns are present, type atoms
+    only appear over rows that carry {!Env.type_column}, join sides don't
+    clash outside the join columns, and union sides agree on columns. *)
+
+val columns : Env.t -> t -> string list
+(** @raise Invalid_argument when {!infer} fails. *)
+
+val sources : t -> source list
+(** Distinct sources scanned, in first-occurrence order. *)
+
+val map_conditions : (Cond.t -> Cond.t) -> t -> t
+(** Rewrite every selection condition (used by Algorithm 2 and the fragment
+    adaptation of Section 3.1.3). *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,151 @@
+type cmp = Eq | Neq | Lt | Le | Gt | Ge [@@deriving eq, ord, show { with_path = false }]
+
+type t =
+  | True
+  | False
+  | Is_of of string
+  | Is_of_only of string
+  | Is_null of string
+  | Is_not_null of string
+  | Cmp of string * cmp * Datum.Value.t
+  | And of t * t
+  | Or of t * t
+[@@deriving eq, ord]
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "TRUE"
+  | False -> Format.pp_print_string fmt "FALSE"
+  | Is_of e -> Format.fprintf fmt "IS OF %s" e
+  | Is_of_only e -> Format.fprintf fmt "IS OF (ONLY %s)" e
+  | Is_null a -> Format.fprintf fmt "%s IS NULL" a
+  | Is_not_null a -> Format.fprintf fmt "%s IS NOT NULL" a
+  | Cmp (a, op, v) ->
+      let ops = match op with Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" in
+      Format.fprintf fmt "%s %s %s" a ops (Datum.Value.to_literal v)
+  | And (a, b) -> Format.fprintf fmt "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a OR %a)" pp a pp b
+
+let show c = Format.asprintf "%a" pp c
+
+let conj = function [] -> True | c :: rest -> List.fold_left (fun acc x -> And (acc, x)) c rest
+let disj = function [] -> False | c :: rest -> List.fold_left (fun acc x -> Or (acc, x)) c rest
+
+let eval_cmp op va vb =
+  if Datum.Value.is_null va || Datum.Value.is_null vb then false
+  else
+    let c = Datum.Value.compare va vb in
+    match op with
+    | Eq -> c = 0
+    | Neq -> c <> 0
+    | Lt -> c < 0
+    | Le -> c <= 0
+    | Gt -> c > 0
+    | Ge -> c >= 0
+
+let row_type row =
+  match Datum.Row.find Env.type_column row with
+  | Some (Datum.Value.String ty) -> Some ty
+  | Some _ | None -> None
+
+let rec eval schema row = function
+  | True -> true
+  | False -> false
+  | Is_of e -> (
+      match row_type row with
+      | Some ty -> Edm.Schema.mem_type schema ty && Edm.Schema.is_subtype schema ~sub:ty ~sup:e
+      | None -> false)
+  | Is_of_only e -> row_type row = Some e
+  | Is_null a -> (
+      match Datum.Row.find a row with Some v -> Datum.Value.is_null v | None -> true)
+  | Is_not_null a -> (
+      match Datum.Row.find a row with Some v -> not (Datum.Value.is_null v) | None -> false)
+  | Cmp (a, op, c) -> (
+      match Datum.Row.find a row with Some v -> eval_cmp op v c | None -> false)
+  | And (a, b) -> eval schema row a && eval schema row b
+  | Or (a, b) -> eval schema row a || eval schema row b
+
+let rec atoms_acc acc = function
+  | True | False -> acc
+  | (Is_of _ | Is_of_only _ | Is_null _ | Is_not_null _ | Cmp _) as a ->
+      if List.exists (equal a) acc then acc else a :: acc
+  | And (a, b) | Or (a, b) -> atoms_acc (atoms_acc acc a) b
+
+let atoms c = List.rev (atoms_acc [] c)
+
+let columns c =
+  List.filter_map
+    (function
+      | Is_null a | Is_not_null a | Cmp (a, _, _) -> Some a
+      | True | False | Is_of _ | Is_of_only _ | And _ | Or _ -> None)
+    (atoms c)
+  |> List.sort_uniq String.compare
+
+let type_atoms c =
+  List.filter (function Is_of _ | Is_of_only _ -> true | _ -> false) (atoms c)
+
+let rec map_atoms f = function
+  | True -> True
+  | False -> False
+  | (Is_of _ | Is_of_only _ | Is_null _ | Is_not_null _ | Cmp _) as a -> f a
+  | And (a, b) -> And (map_atoms f a, map_atoms f b)
+  | Or (a, b) -> Or (map_atoms f a, map_atoms f b)
+
+let rename_columns pairs c =
+  let subst a = match List.assoc_opt a pairs with Some b -> b | None -> a in
+  map_atoms
+    (function
+      | Is_null a -> Is_null (subst a)
+      | Is_not_null a -> Is_not_null (subst a)
+      | Cmp (a, op, v) -> Cmp (subst a, op, v)
+      | (True | False | Is_of _ | Is_of_only _ | And _ | Or _) as atom -> atom)
+    c
+
+(* Flatten to lists of conjuncts/disjuncts, simplify, rebuild. *)
+let rec simplify c =
+  match c with
+  | True | False | Is_of _ | Is_of_only _ | Is_null _ | Is_not_null _ | Cmp _ -> c
+  | And (a, b) -> (
+      match simplify a, simplify b with
+      | False, _ | _, False -> False
+      | True, x | x, True -> x
+      | x, y when equal x y -> x
+      | x, y -> And (x, y))
+  | Or (a, b) -> (
+      match simplify a, simplify b with
+      | True, _ | _, True -> True
+      | False, x | x, False -> x
+      | x, y when equal x y -> x
+      | x, y -> Or (x, y))
+
+let rec dnf = function
+  | True -> [ [] ]
+  | False -> []
+  | (Is_of _ | Is_of_only _ | Is_null _ | Is_not_null _ | Cmp _) as a -> [ [ a ] ]
+  | Or (a, b) -> dnf a @ dnf b
+  | And (a, b) ->
+      let da = dnf a and db = dnf b in
+      List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) db) da
+
+let flip_cmp = function Eq -> Neq | Neq -> Eq | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+
+let rec negate = function
+  | True -> Some False
+  | False -> Some True
+  | Is_of _ | Is_of_only _ -> None
+  | Is_null a -> Some (Is_not_null a)
+  | Is_not_null a -> Some (Is_null a)
+  | Cmp (a, op, v) -> Some (Or (Is_null a, Cmp (a, flip_cmp op, v)))
+  | And (a, b) -> (
+      match negate a, negate b with Some na, Some nb -> Some (Or (na, nb)) | _ -> None)
+  | Or (a, b) -> (
+      match negate a, negate b with Some na, Some nb -> Some (And (na, nb)) | _ -> None)
+
+let negate_type_test schema ~set_root c =
+  let all = Edm.Schema.subtypes schema set_root in
+  let complement keep =
+    disj (List.filter_map (fun ty -> if keep ty then None else Some (Is_of_only ty)) all)
+  in
+  match c with
+  | Is_of e -> Some (complement (fun ty -> Edm.Schema.is_subtype schema ~sub:ty ~sup:e))
+  | Is_of_only e -> Some (complement (fun ty -> ty = e))
+  | True | False | Is_null _ | Is_not_null _ | Cmp _ | And _ | Or _ -> None

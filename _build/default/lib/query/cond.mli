@@ -1,0 +1,75 @@
+(** The condition language of mapping fragments and views (Section 2.1).
+
+    Conditions are AND–OR combinations (no general negation, as in the
+    paper) of the atoms [IS OF E], [IS OF (ONLY E)], [A IS NULL],
+    [A IS NOT NULL] and [A θ c].  Comparisons follow SQL semantics: a
+    comparison against a [NULL] attribute is not satisfied. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Is_of of string        (** satisfied by the type and its derived types *)
+  | Is_of_only of string   (** satisfied by exactly the type *)
+  | Is_null of string
+  | Is_not_null of string
+  | Cmp of string * cmp * Datum.Value.t
+  | And of t * t
+  | Or of t * t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val pp_cmp : Format.formatter -> cmp -> unit
+
+val conj : t list -> t
+val disj : t list -> t
+(** n-ary connectives; [conj [] = True], [disj [] = False]. *)
+
+val eval_cmp : cmp -> Datum.Value.t -> Datum.Value.t -> bool
+(** SQL comparison of two values; false whenever either is [NULL]. *)
+
+val eval : Edm.Schema.t -> Datum.Row.t -> t -> bool
+(** Evaluate over a row.  [IS OF] atoms read the {!Env.type_column} binding
+    and consult the schema's hierarchy; rows without that column never
+    satisfy type atoms.  Attribute atoms read the named column; a missing
+    column behaves as [NULL]. *)
+
+val atoms : t -> t list
+(** The distinct atoms, in first-occurrence order. *)
+
+val columns : t -> string list
+(** Attribute names mentioned by non-type atoms. *)
+
+val type_atoms : t -> t list
+(** The [Is_of] / [Is_of_only] atoms. *)
+
+val map_atoms : (t -> t) -> t -> t
+(** Rebuild the condition, replacing each atom by the image (which may be a
+    compound condition) — the workhorse of Algorithm 2's [IS OF] rewrites. *)
+
+val rename_columns : (string * string) list -> t -> t
+(** Substitute attribute names in non-type atoms ([(old, new)] pairs). *)
+
+val simplify : t -> t
+(** Boolean simplification: unit/absorbing elements, flattening, duplicate
+    removal.  Purely syntactic — no satisfiability reasoning. *)
+
+val dnf : t -> t list list
+(** Disjunctive normal form as a list of conjunctions of atoms.  [True] is
+    the empty conjunction [[[]]]; [False] is the empty disjunction [[]].
+    Worst-case exponential, deliberately so: this is the cost the paper
+    attributes to containment checking. *)
+
+val negate : t -> t option
+(** SQL-faithful row-level complement, when expressible without type
+    reasoning: comparisons flip and pick up an [IS NULL] disjunct, null
+    tests flip, [And]/[Or] dualize.  [None] if a type atom occurs. *)
+
+val negate_type_test :
+  Edm.Schema.t -> set_root:string -> t -> t option
+(** Complement of a single type atom within the hierarchy rooted at
+    [set_root], expressed as a disjunction of [Is_of_only] atoms over the
+    remaining types.  [None] for non-type atoms. *)

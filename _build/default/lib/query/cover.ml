@@ -1,0 +1,108 @@
+(* Resolve type atoms under a fixed exact type. *)
+let resolve_types schema ~etype c =
+  Cond.map_atoms
+    (function
+      | Cond.Is_of e ->
+          if Edm.Schema.mem_type schema etype && Edm.Schema.is_subtype schema ~sub:etype ~sup:e
+          then Cond.True
+          else Cond.False
+      | Cond.Is_of_only e -> if e = etype then Cond.True else Cond.False
+      | (Cond.True | Cond.False | Cond.Is_null _ | Cond.Is_not_null _ | Cond.Cmp _
+        | Cond.And _ | Cond.Or _) as atom ->
+          atom)
+    c
+
+(* Boundary values for one attribute: the constants it is compared against,
+   their immediate neighbours, and a fresh value distinct from all of them.
+   Enum domains enumerate exhaustively instead (closed world). *)
+let grid_for_attribute domain ~nullable constants =
+  let base =
+    match domain with
+    | Some (Datum.Domain.Enum values) -> List.map (fun s -> Datum.Value.String s) values
+    | Some Datum.Domain.Bool -> [ Datum.Value.Bool false; Datum.Value.Bool true ]
+    | _ ->
+        let neighbours =
+          List.concat_map
+            (fun v ->
+              match v with
+              | Datum.Value.Int n -> [ Datum.Value.Int (n - 1); v; Datum.Value.Int (n + 1) ]
+              | Datum.Value.Decimal f ->
+                  [ Datum.Value.Decimal (f -. 0.5); v; Datum.Value.Decimal (f +. 0.5) ]
+              | Datum.Value.String s -> [ v; Datum.Value.String (s ^ "~") ]
+              | Datum.Value.Bool _ -> [ v ]
+              | Datum.Value.Null -> [])
+            constants
+        in
+        let fresh =
+          match domain with
+          | Some Datum.Domain.Int ->
+              let max_c =
+                List.fold_left
+                  (fun m v -> match v with Datum.Value.Int n -> max m n | _ -> m)
+                  0 constants
+              in
+              [ Datum.Value.Int (max_c + 1000) ]
+          | Some Datum.Domain.String -> [ Datum.Value.String "\x01fresh" ]
+          | Some Datum.Domain.Decimal -> [ Datum.Value.Decimal 1.0e9 ]
+          | Some Datum.Domain.Bool | Some (Datum.Domain.Enum _) | None -> []
+        in
+        neighbours @ fresh
+  in
+  let base = List.sort_uniq Datum.Value.compare base in
+  if nullable then Datum.Value.Null :: base else base
+
+(* All assignments for the condition's attributes, as rows. *)
+let grid schema ~etype c =
+  let attrs = Cond.columns c in
+  let per_attr =
+    List.map
+      (fun a ->
+        let constants =
+          List.filter_map
+            (function Cond.Cmp (a', _, v) when a' = a -> Some v | _ -> None)
+            (Cond.atoms c)
+        in
+        let domain = Edm.Schema.attribute_domain schema etype a in
+        let nullable = Edm.Schema.attribute_nullable schema etype a in
+        (a, grid_for_attribute domain ~nullable constants))
+      attrs
+  in
+  List.fold_left
+    (fun rows (a, values) ->
+      List.concat_map (fun row -> List.map (fun v -> Datum.Row.add a v row) values) rows)
+    [ Datum.Row.empty ] per_attr
+
+let with_type schema ~etype row =
+  ignore schema;
+  Datum.Row.add Env.type_column (Datum.Value.String etype) row
+
+let tautology schema ~etype c =
+  let resolved = Cond.simplify (resolve_types schema ~etype c) in
+  match resolved with
+  | Cond.True -> true
+  | Cond.False -> false
+  | _ ->
+      List.for_all
+        (fun row -> Cond.eval schema (with_type schema ~etype row) resolved)
+        (grid schema ~etype resolved)
+
+let satisfiable schema ~etype c =
+  let resolved = Cond.simplify (resolve_types schema ~etype c) in
+  match resolved with
+  | Cond.True -> true
+  | Cond.False -> false
+  | _ ->
+      List.exists
+        (fun row -> Cond.eval schema (with_type schema ~etype row) resolved)
+        (grid schema ~etype resolved)
+
+let implies schema ~etype c1 c2 =
+  let r1 = Cond.simplify (resolve_types schema ~etype c1) in
+  let r2 = Cond.simplify (resolve_types schema ~etype c2) in
+  let combined = Cond.And (r1, r2) in
+  (* Evaluate both over the joint grid so regions line up. *)
+  List.for_all
+    (fun row ->
+      let row = with_type schema ~etype row in
+      (not (Cond.eval schema row r1)) || Cond.eval schema row r2)
+    (grid schema ~etype combined)

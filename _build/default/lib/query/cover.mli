@@ -1,0 +1,27 @@
+(** Closed-form coverage reasoning over client conditions.
+
+    The validation step of [AddEntityPart] (Section 3.3 of the paper) must
+    decide whether a disjunction of partition conditions is a tautology over
+    the attributes of a type — e.g. [(age >= 18) ∨ (age < 18)], or
+    [(gender = 'M') ∨ (gender = 'F')] over a closed M/F domain.  The full
+    compiler's coverage step asks the same question per concrete type.
+
+    Decision procedure: resolve the type atoms against the fixed exact type,
+    then evaluate the residual attribute condition on a finite grid of
+    boundary values — for every attribute, the constants it is compared to,
+    their immediate neighbours, a fresh value outside all constants, and
+    [NULL] for non-key attributes (all values of an [Enum] domain, which is
+    what makes the gender example a tautology).  The grid covers every order
+    region the condition language can distinguish, so the test is exact. *)
+
+val tautology : Edm.Schema.t -> etype:string -> Cond.t -> bool
+(** [tautology schema ~etype c] — does [c] hold for every possible entity of
+    exact type [etype]? *)
+
+val satisfiable : Edm.Schema.t -> etype:string -> Cond.t -> bool
+(** Dual check over the same grid: can some entity of exact type [etype]
+    satisfy [c]?  Used to prune empty partitions. *)
+
+val implies : Edm.Schema.t -> etype:string -> Cond.t -> Cond.t -> bool
+(** [implies schema ~etype c1 c2] — over entities of exact type [etype],
+    does [c1] entail [c2]?  ([tautology] is [implies True].) *)

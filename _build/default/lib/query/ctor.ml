@@ -1,0 +1,64 @@
+type t =
+  | Entity of { etype : string; attrs : string list }
+  | Tuple of string list
+  | If of Cond.t * t * t
+[@@deriving eq]
+
+let rec pp fmt = function
+  | Entity { etype; attrs } -> Format.fprintf fmt "%s(%s)" etype (String.concat "," attrs)
+  | Tuple cols -> Format.fprintf fmt "(%s)" (String.concat "," cols)
+  | If (c, a, b) -> Format.fprintf fmt "@[if (%a)@ then %a@ else %a@]" Cond.pp c pp a pp b
+
+let show c = Format.asprintf "%a" pp c
+
+let rec eval_entity schema row = function
+  | Entity { etype; attrs } ->
+      { Edm.Instance.etype; attrs = Datum.Row.project attrs row }
+  | Tuple _ -> invalid_arg "Query.Ctor.eval_entity: tuple leaf in an entity constructor"
+  | If (c, a, b) -> if Cond.eval schema row c then eval_entity schema row a else eval_entity schema row b
+
+let rec eval_tuple schema row = function
+  | Tuple cols -> Datum.Row.project cols row
+  | Entity _ -> invalid_arg "Query.Ctor.eval_tuple: entity leaf in a tuple constructor"
+  | If (c, a, b) -> if Cond.eval schema row c then eval_tuple schema row a else eval_tuple schema row b
+
+let rec types_constructed = function
+  | Entity { etype; _ } -> [ etype ]
+  | Tuple _ -> []
+  | If (_, a, b) ->
+      let ta = types_constructed a in
+      ta @ List.filter (fun ty -> not (List.mem ty ta)) (types_constructed b)
+
+(* Flatten the decision tree into (guard, leaf) pairs.  The guard of a leaf
+   is the conjunction of the conditions on its path, with else-branches
+   contributing the SQL-faithful complement. *)
+let branches ctor =
+  let ( let* ) = Option.bind in
+  let rec go guard = function
+    | (Entity _ | Tuple _) as leaf -> Some [ (Cond.simplify (Cond.conj (List.rev guard)), leaf) ]
+    | If (c, a, b) ->
+        let* bs_then = go (c :: guard) a in
+        let* nc = Cond.negate c in
+        let* bs_else = go (nc :: guard) b in
+        Some (bs_then @ bs_else)
+  in
+  match go [] ctor with
+  | Some pairs -> Some (List.map (fun p -> Some p) pairs)
+  | None -> None
+
+let guard_for ctor ~satisfies =
+  match branches ctor with
+  | None -> None
+  | Some pairs ->
+      let conds =
+        List.filter_map
+          (function
+            | Some (guard, Entity { etype; _ }) when satisfies etype -> Some guard
+            | Some _ | None -> None)
+          pairs
+      in
+      Some (Cond.simplify (Cond.disj conds))
+
+let rec map_conditions f = function
+  | (Entity _ | Tuple _) as leaf -> leaf
+  | If (c, a, b) -> If (f c, map_conditions f a, map_conditions f b)

@@ -1,0 +1,42 @@
+(** Constructor expressions — the [τ] component of views (Section 2.2).
+
+    A query view [(Q_E | τ_E)] evaluates the relational query [Q_E] and then
+    applies [τ_E] to each row to decide which entity type to instantiate —
+    the role of the CASE statement in Fig. 2.  Update and association views
+    use the degenerate [Tuple] form that simply assembles a row. *)
+
+type t =
+  | Entity of { etype : string; attrs : string list }
+      (** Instantiate [etype] from the named row columns (which coincide
+          with the attribute names of the type). *)
+  | Tuple of string list
+      (** Assemble a store tuple or association tuple from the named
+          columns. *)
+  | If of Cond.t * t * t
+      (** Branch on the row (provenance flags, discriminators). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val eval_entity : Edm.Schema.t -> Datum.Row.t -> t -> Edm.Instance.entity
+(** @raise Invalid_argument if evaluation reaches a [Tuple] leaf. *)
+
+val eval_tuple : Edm.Schema.t -> Datum.Row.t -> t -> Datum.Row.t
+(** @raise Invalid_argument if evaluation reaches an [Entity] leaf. *)
+
+val types_constructed : t -> string list
+(** Entity types appearing at [Entity] leaves, outermost first. *)
+
+val branches : t -> (Cond.t * t) option list option
+(** Guard/leaf pairs with the else-branch guards complemented via
+    {!Cond.negate}; [None] when some branch condition is not negatable.
+    Intended for internal use by {!guard_for}. *)
+
+val guard_for : t -> satisfies:(string -> bool) -> Cond.t option
+(** The row-level condition under which the constructed entity's type
+    satisfies the predicate — the key step of view unfolding, which
+    translates a client-side [IS OF E] into a store-side test on provenance
+    flags.  [None] when a branch condition resists complementation. *)
+
+val map_conditions : (Cond.t -> Cond.t) -> t -> t

@@ -1,0 +1,22 @@
+(** A compilation environment: the client and store schemas side by side.
+
+    Every phase of the stack — typing queries, evaluating them, checking
+    containment, compiling mappings — needs both schemas, so they travel
+    together. *)
+
+type t = { client : Edm.Schema.t; store : Relational.Schema.t }
+
+val make : client:Edm.Schema.t -> store:Relational.Schema.t -> t
+
+val type_column : string
+(** The phantom column carrying each scanned entity's dynamic type, on which
+    [IS OF] conditions are evaluated.  Named ["$type"], which cannot clash
+    with schema attributes. *)
+
+val entity_set_columns : t -> string -> string list
+(** Columns produced by scanning an entity set: {!type_column} followed by
+    the union of all attributes declared anywhere in the set's hierarchy
+    (entities lacking an attribute scan as [NULL] there). *)
+
+val assoc_set_columns : t -> string -> string list
+val table_columns : t -> string -> string list

@@ -1,0 +1,102 @@
+type db = { client : Edm.Instance.t; store : Relational.Instance.t }
+
+let client_db client = { client; store = Relational.Instance.empty }
+let store_db store = { client = Edm.Instance.empty; store }
+
+let scan_entity_set env db set =
+  let cols = Env.entity_set_columns env set in
+  let attr_cols = List.filter (fun c -> c <> Env.type_column) cols in
+  List.map
+    (fun (e : Edm.Instance.entity) ->
+      let base =
+        List.fold_left
+          (fun r c ->
+            let v = Option.value ~default:Datum.Value.Null (Datum.Row.find c e.attrs) in
+            Datum.Row.add c v r)
+          Datum.Row.empty attr_cols
+      in
+      Datum.Row.add Env.type_column (Datum.Value.String e.etype) base)
+    (Edm.Instance.entities db.client ~set)
+
+let project_row items row =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Algebra.Col { src; dst } ->
+          let v = Option.value ~default:Datum.Value.Null (Datum.Row.find src row) in
+          Datum.Row.add dst v acc
+      | Algebra.Const { value; dst } -> Datum.Row.add dst value acc
+      | Algebra.Coalesce { srcs; dst } ->
+          let v =
+            List.fold_left
+              (fun acc src ->
+                if Datum.Value.is_null acc then
+                  Option.value ~default:Datum.Value.Null (Datum.Row.find src row)
+                else acc)
+              Datum.Value.Null srcs
+          in
+          Datum.Row.add dst v acc)
+    Datum.Row.empty items
+
+let join_match on l r =
+  List.for_all
+    (fun c ->
+      match Datum.Row.find c l, Datum.Row.find c r with
+      | Some vl, Some vr -> (not (Datum.Value.is_null vl)) && Cond.eval_cmp Cond.Eq vl vr
+      | None, _ | _, None -> false)
+    on
+
+let pad cols row = List.fold_left (fun r c -> Datum.Row.add c Datum.Value.Null r) row cols
+
+let rec rows env db q =
+  match q with
+  | Algebra.Scan (Entity_set s) -> scan_entity_set env db s
+  | Algebra.Scan (Assoc_set a) -> Edm.Instance.links db.client ~assoc:a
+  | Algebra.Scan (Table t) -> Relational.Instance.rows db.store ~table:t
+  | Algebra.Select (c, q) -> List.filter (fun r -> Cond.eval env.Env.client r c) (rows env db q)
+  | Algebra.Project (items, q) -> List.map (project_row items) (rows env db q)
+  | Algebra.Join (l, r, on) ->
+      let lr = rows env db l and rr = rows env db r in
+      List.concat_map
+        (fun lrow ->
+          List.filter_map
+            (fun rrow -> if join_match on lrow rrow then Some (Datum.Row.union lrow rrow) else None)
+            rr)
+        lr
+  | Algebra.Left_outer_join (l, r, on) ->
+      let lr = rows env db l and rr = rows env db r in
+      let rcols_only = List.filter (fun c -> not (List.mem c on)) (Algebra.columns env r) in
+      List.concat_map
+        (fun lrow ->
+          match List.filter (join_match on lrow) rr with
+          | [] -> [ pad rcols_only lrow ]
+          | matches -> List.map (fun rrow -> Datum.Row.union lrow rrow) matches)
+        lr
+  | Algebra.Full_outer_join (l, r, on) ->
+      let lr = rows env db l and rr = rows env db r in
+      let lcols = Algebra.columns env l and rcols = Algebra.columns env r in
+      let rcols_only = List.filter (fun c -> not (List.mem c on)) rcols in
+      let lcols_only = List.filter (fun c -> not (List.mem c on)) lcols in
+      let left_part =
+        List.concat_map
+          (fun lrow ->
+            match List.filter (join_match on lrow) rr with
+            | [] -> [ pad rcols_only lrow ]
+            | matches -> List.map (fun rrow -> Datum.Row.union lrow rrow) matches)
+          lr
+      in
+      let right_unmatched =
+        List.filter_map
+          (fun rrow ->
+            if List.exists (fun lrow -> join_match on lrow rrow) lr then None
+            else Some (pad lcols_only rrow))
+          rr
+      in
+      left_part @ right_unmatched
+  | Algebra.Union_all (l, r) -> rows env db l @ rows env db r
+
+let rows_set env db q = List.sort_uniq Datum.Row.compare (rows env db q)
+
+let subset env db q1 q2 =
+  let r2 = rows_set env db q2 in
+  List.for_all (fun r -> List.exists (Datum.Row.equal r) r2) (rows_set env db q1)

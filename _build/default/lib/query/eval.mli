@@ -1,0 +1,24 @@
+(** Operational semantics of the algebra over concrete states.
+
+    Evaluation is the ground truth against which everything else is checked:
+    mapping semantics, view correctness, containment soundness and the
+    roundtripping criterion are all defined (and property-tested) in terms of
+    [rows]. *)
+
+type db = { client : Edm.Instance.t; store : Relational.Instance.t }
+
+val client_db : Edm.Instance.t -> db
+val store_db : Relational.Instance.t -> db
+
+val rows : Env.t -> db -> Algebra.t -> Datum.Row.t list
+(** Bag-semantics evaluation.  Entity-set scans pad attributes absent from an
+    entity's type with [NULL] and bind {!Env.type_column}; joins never match
+    on [NULL]; outer joins pad the missing side with [NULL]. *)
+
+val rows_set : Env.t -> db -> Algebra.t -> Datum.Row.t list
+(** [rows] deduplicated and sorted — set semantics, the basis of query
+    equivalence and containment. *)
+
+val subset : Env.t -> db -> Algebra.t -> Algebra.t -> bool
+(** Whether the first query's answer is contained in the second's on this
+    database (set semantics) — the empirical side of containment checks. *)

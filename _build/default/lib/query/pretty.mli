@@ -1,0 +1,11 @@
+(** Entity-SQL-flavoured rendering of queries and views, in the style of
+    Fig. 2 of the paper.  This is a presentation format (used by the CLI,
+    the examples and the golden tests), not a parseable dialect. *)
+
+val query : Format.formatter -> Algebra.t -> unit
+val view : Format.formatter -> View.t -> unit
+val query_string : Algebra.t -> string
+val view_string : View.t -> string
+
+val query_views : Format.formatter -> View.query_views -> unit
+val update_views : Format.formatter -> View.update_views -> unit

@@ -1,0 +1,17 @@
+(** Algebraic cleanup of generated queries.
+
+    The compilers build views mechanically (Algorithms 1 and 2 splice
+    sub-views into joins and unions), which leaves easy redundancies:
+    selections on [TRUE], stacked selections, stacked projections, identity
+    projections.  [query] removes those without changing semantics — tests
+    compare the simplified and raw forms by evaluation on random states.
+
+    Deeper, constraint-driven rewrites (full outer join to left outer join or
+    UNION ALL) are the full compiler's job; see [Fullc.Query_views]. *)
+
+val query : Env.t -> Algebra.t -> Algebra.t
+val view : Env.t -> View.t -> View.t
+(** Simplify the query and the constructor's branch conditions. *)
+
+val query_views : Env.t -> View.query_views -> View.query_views
+val update_views : Env.t -> View.update_views -> View.update_views

@@ -1,0 +1,19 @@
+(** View unfolding (Section 1.1): rewrite a client-side query into a
+    store-side query by splicing in the query views.
+
+    Entity-set scans are replaced by the hierarchy root's view query;
+    [IS OF] conditions directly above an entity-set scan are translated into
+    the view's provenance tests via {!Ctor.guard_for} — e.g.
+    [IS OF Employee] over the unfolded Fig. 2 view becomes [_from2 = True].
+    Association-set scans are replaced by the association view.
+
+    Type conditions that sit above a projection which discards the
+    provenance flags cannot be translated and are reported as errors; the
+    mapping compilers never build such queries. *)
+
+val client_query : Env.t -> View.query_views -> Algebra.t -> (Algebra.t, string) result
+
+val compose :
+  Env.t -> View.query_views -> View.t -> (View.t, string) result
+(** Unfold a client-side view (an update view) over the query views — the
+    composition [V ∘ Q] whose identity is checked during validation. *)

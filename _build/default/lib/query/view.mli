@@ -1,0 +1,55 @@
+(** Compiled views and view sets (Section 2.2).
+
+    A query-view set holds one view per entity *type* — Algorithm 1 reuses
+    the previous view of any ancestor [P], so per-type views are the unit of
+    incremental maintenance — plus one view per association set.  The view of
+    a hierarchy's root type doubles as the entity-set view used to
+    materialize client states.  An update-view set holds one view per store
+    table mentioned in the mapping. *)
+
+type t = { query : Algebra.t; ctor : Ctor.t }
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+module String_map : Map.S with type key = string
+
+type query_views = {
+  entity : t String_map.t;  (** keyed by entity-type name *)
+  assoc : t String_map.t;   (** keyed by association-set name *)
+}
+
+type update_views = t String_map.t  (** keyed by table name *)
+
+val no_query_views : query_views
+val no_update_views : update_views
+val entity_view : query_views -> string -> t option
+val assoc_view : query_views -> string -> t option
+val table_view : update_views -> string -> t option
+val set_entity_view : string -> t -> query_views -> query_views
+val set_assoc_view : string -> t -> query_views -> query_views
+val set_table_view : string -> t -> update_views -> update_views
+val remove_entity_view : string -> query_views -> query_views
+val remove_assoc_view : string -> query_views -> query_views
+val remove_table_view : string -> update_views -> update_views
+val entity_view_bindings : query_views -> (string * t) list
+val assoc_view_bindings : query_views -> (string * t) list
+val update_view_bindings : update_views -> (string * t) list
+
+val apply_query_views :
+  Env.t -> query_views -> Relational.Instance.t -> (Edm.Instance.t, string) result
+(** Materialize the client state of a store state: evaluate each hierarchy
+    root's view and each association view.  Fails when a view is missing or
+    ill-typed. *)
+
+val apply_update_views :
+  Env.t -> update_views -> Edm.Instance.t -> (Relational.Instance.t, string) result
+(** Materialize the store state of a client state.  Tables without views end
+    up empty. *)
+
+val roundtrip :
+  Env.t -> query_views -> update_views -> Edm.Instance.t -> (Edm.Instance.t, string) result
+(** Push a client state down through the update views and pull it back up
+    through the query views — the composition [Q ∘ V] whose identity on
+    client states is the paper's correctness criterion. *)

@@ -1,0 +1,1 @@
+lib/relational/instance.pp.ml: Datum Format List Map Option Result Schema String Table

@@ -1,0 +1,1 @@
+lib/relational/instance.pp.mli: Datum Format Schema

@@ -1,0 +1,1 @@
+lib/relational/schema.pp.ml: Datum Format List Map Printf Result String Table

@@ -1,0 +1,1 @@
+lib/relational/table.pp.ml: Datum List Option Ppx_deriving_runtime

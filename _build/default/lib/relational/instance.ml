@@ -1,0 +1,106 @@
+module M = Map.Make (String)
+
+type t = Datum.Row.t list M.t
+
+let empty = M.empty
+
+let add_row ~table r t =
+  M.update table (function None -> Some [ r ] | Some l -> Some (r :: l)) t
+
+let set_rows ~table rows t = M.add table rows t
+let rows t ~table = Option.value ~default:[] (M.find_opt table t)
+let tables t = List.map fst (M.bindings t)
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      all_ok f rest
+
+let check_row (tbl : Table.t) r =
+  let expected = List.sort String.compare (Table.column_names tbl) in
+  let actual = List.sort String.compare (Datum.Row.columns r) in
+  let* () =
+    if expected = actual then Ok ()
+    else
+      fail "row of %s has columns {%s}, expected {%s}" tbl.name (String.concat "," actual)
+        (String.concat "," expected)
+  in
+  all_ok
+    (fun (c : Table.column) ->
+      let v = Datum.Row.get c.cname r in
+      if Datum.Value.is_null v then
+        if c.nullable then Ok () else fail "NULL in non-nullable column %s.%s" tbl.name c.cname
+      else if Datum.Value.member v c.domain then Ok ()
+      else fail "value %s outside domain of %s.%s" (Datum.Value.show v) tbl.name c.cname)
+    tbl.columns
+
+let check_key (tbl : Table.t) rows =
+  let keys = List.map (Datum.Row.project tbl.key) rows in
+  let* () =
+    all_ok
+      (fun k ->
+        if List.exists Datum.Value.is_null (List.map snd (Datum.Row.to_list k)) then
+          fail "NULL key in table %s" tbl.name
+        else Ok ())
+      keys
+  in
+  let sorted = List.sort Datum.Row.compare keys in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if Datum.Row.equal a b then Some a else dup rest
+    | [ _ ] | [] -> None
+  in
+  match dup sorted with
+  | Some k -> fail "duplicate key %s in table %s" (Datum.Row.show k) tbl.name
+  | None -> Ok ()
+
+let check_fk t (tbl : Table.t) (fk : Table.foreign_key) rows =
+  let targets =
+    List.map (Datum.Row.project fk.ref_columns) (Option.value ~default:[] (M.find_opt fk.ref_table t))
+  in
+  all_ok
+    (fun r ->
+      let src = List.map (fun c -> Datum.Row.get c r) fk.fk_columns in
+      if List.exists Datum.Value.is_null src then Ok ()
+      else
+        let image = Datum.Row.of_list (List.combine fk.ref_columns src) in
+        if List.exists (Datum.Row.equal image) targets then Ok ()
+        else
+          fail "foreign key %s(%s) -> %s: dangling reference %s" tbl.name
+            (String.concat "," fk.fk_columns) fk.ref_table (Datum.Row.show image))
+    rows
+
+let conforms schema t =
+  all_ok
+    (fun table ->
+      let* tbl =
+        match Schema.find_table schema table with
+        | Some tbl -> Ok tbl
+        | None -> fail "unknown table %s" table
+      in
+      let rs = rows t ~table in
+      let* () = all_ok (check_row tbl) rs in
+      let* () = check_key tbl rs in
+      all_ok (fun fk -> check_fk t tbl fk rs) tbl.fks)
+    (tables t)
+
+let equal a b =
+  let norm m =
+    M.filter_map
+      (fun _ l -> match List.sort_uniq Datum.Row.compare l with [] -> None | l -> Some l)
+      m
+  in
+  M.equal (List.equal Datum.Row.equal) (norm a) (norm b)
+
+let pp fmt t =
+  let pp_table fmt (name, rs) =
+    Format.fprintf fmt "  %s: %a" name
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") Datum.Row.pp)
+      (List.sort_uniq Datum.Row.compare rs)
+  in
+  Format.fprintf fmt "@[<v>%a@]" (Format.pp_print_list pp_table) (M.bindings t)
+
+let show t = Format.asprintf "%a" pp t

@@ -1,0 +1,25 @@
+(** Store states: row populations per table — the [s] in [M ⊆ C × S].
+
+    {!conforms} implements exactly the integrity constraints the paper's
+    validation must preserve: domain constraints, key uniqueness, and
+    foreign keys (Section 3.1.4). *)
+
+type t
+
+val empty : t
+val add_row : table:string -> Datum.Row.t -> t -> t
+val set_rows : table:string -> Datum.Row.t list -> t -> t
+val rows : t -> table:string -> Datum.Row.t list
+val tables : t -> string list
+
+val conforms : Schema.t -> t -> (unit, string) result
+(** Every row carries exactly the table's columns with domain-respecting
+    values, [NULL] only in nullable columns, unique non-null keys, and every
+    foreign key resolving (rows with any [NULL] foreign-key column are
+    exempt, as in SQL's simple match). *)
+
+val equal : t -> t -> bool
+(** Set-semantics equality per table. *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string

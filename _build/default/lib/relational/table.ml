@@ -1,0 +1,34 @@
+type column = { cname : string; domain : Datum.Domain.t; nullable : bool }
+[@@deriving eq, ord, show { with_path = false }]
+
+type foreign_key = {
+  fk_columns : string list;
+  ref_table : string;
+  ref_columns : string list;
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+type t = {
+  name : string;
+  columns : column list;
+  key : string list;
+  fks : foreign_key list;
+}
+[@@deriving eq, ord, show { with_path = false }]
+
+let make ~name ~key ?(fks = []) cols =
+  let columns =
+    List.map (fun (cname, domain, n) -> { cname; domain; nullable = n = `Null }) cols
+  in
+  assert (key <> []);
+  assert (List.for_all (fun k -> List.exists (fun c -> c.cname = k) columns) key);
+  { name; columns; key; fks }
+
+let column t c = List.find_opt (fun col -> col.cname = c) t.columns
+let column_names t = List.map (fun c -> c.cname) t.columns
+let mem_column t c = column t c <> None
+let domain_of t c = Option.map (fun col -> col.domain) (column t c)
+let nullable t c = match column t c with Some col -> col.nullable | None -> false
+let non_key_columns t = List.filter (fun c -> not (List.mem c t.key)) (column_names t)
+let add_column t c = { t with columns = t.columns @ [ c ] }
+let add_fk t fk = { t with fks = t.fks @ [ fk ] }

@@ -1,0 +1,1 @@
+lib/roundtrip/check.pp.ml: Edm Format Generate Query Relational

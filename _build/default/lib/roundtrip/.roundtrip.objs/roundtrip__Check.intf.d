@@ -1,0 +1,1 @@
+lib/roundtrip/check.pp.mli: Edm Format Query

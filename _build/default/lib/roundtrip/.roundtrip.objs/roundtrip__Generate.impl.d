@@ -1,0 +1,1 @@
+lib/roundtrip/generate.pp.ml: Array Datum Edm Fun List Printf Random

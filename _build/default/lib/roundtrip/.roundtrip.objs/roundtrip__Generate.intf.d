@@ -1,0 +1,1 @@
+lib/roundtrip/generate.pp.mli: Datum Edm Random

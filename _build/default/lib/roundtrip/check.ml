@@ -1,0 +1,32 @@
+type failure = { seed : int; reason : string; instance : Edm.Instance.t }
+
+let pp_failure fmt f =
+  Format.fprintf fmt "@[<v>seed %d: %s@,%a@]" f.seed f.reason Edm.Instance.pp f.instance
+
+let roundtrips env qv uv ?(samples = 50) ?(base_seed = 1000) ?(entities_per_set = 5) () =
+  let client = env.Query.Env.client in
+  let store_schema = env.Query.Env.store in
+  let rec go i =
+    if i >= samples then Ok samples
+    else
+      let seed = base_seed + i in
+      let inst = Generate.instance ~seed ~entities_per_set client in
+      let fail reason = Error { seed; reason; instance = inst } in
+      match Edm.Instance.conforms client inst with
+      | Error e -> fail ("generated instance does not conform: " ^ e)
+      | Ok () -> (
+          match Query.View.apply_update_views env uv inst with
+          | Error e -> fail ("update views: " ^ e)
+          | Ok store -> (
+              match Relational.Instance.conforms store_schema store with
+              | Error e -> fail ("store violates constraints: " ^ e)
+              | Ok () -> (
+                  match Query.View.apply_query_views env qv store with
+                  | Error e -> fail ("query views: " ^ e)
+                  | Ok back ->
+                      if Edm.Instance.equal back inst then go (i + 1)
+                      else
+                        fail
+                          (Format.asprintf "roundtrip mismatch:@.got %a" Edm.Instance.pp back))))
+  in
+  go 0

@@ -1,0 +1,23 @@
+(** Empirical roundtripping — the instance-level backstop of mapping
+    validation (Section 2.2's criterion [Q ∘ V = Id_C], checked on sampled
+    states instead of symbolically).
+
+    Both compilers' test suites use this, and it stands in for the paper's
+    step (5) where symbolic identity checking would require exact outer-join
+    containment. *)
+
+type failure = {
+  seed : int;
+  reason : string;
+  instance : Edm.Instance.t;
+}
+
+val roundtrips :
+  Query.Env.t -> Query.View.query_views -> Query.View.update_views ->
+  ?samples:int -> ?base_seed:int -> ?entities_per_set:int -> unit ->
+  (int, failure) result
+(** Generate [samples] random client states; push each through the update
+    views, check the store state's integrity constraints and the mapping-
+    unaware pullback equality.  [Ok n] is the number of states tried. *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -1,0 +1,98 @@
+let value_for rng = function
+  | Datum.Domain.Int -> Datum.Value.Int (Random.State.int rng 1000)
+  | Datum.Domain.String ->
+      Datum.Value.String (Printf.sprintf "s%d" (Random.State.int rng 100))
+  | Datum.Domain.Bool -> Datum.Value.Bool (Random.State.bool rng)
+  | Datum.Domain.Decimal -> Datum.Value.Decimal (float_of_int (Random.State.int rng 1000) /. 4.0)
+  | Datum.Domain.Enum values -> (
+      match values with
+      | [] -> Datum.Value.Null
+      | _ -> Datum.Value.String (List.nth values (Random.State.int rng (List.length values))))
+
+let entity_of rng schema ~etype ~id =
+  let key = Edm.Schema.key_of schema etype in
+  let attrs =
+    List.map
+      (fun (a, dom) ->
+        if List.mem a key then (a, Datum.Value.Int id)
+        else if
+          Edm.Schema.attribute_nullable schema etype a && Random.State.int rng 5 = 0
+        then (a, Datum.Value.Null)
+        else (a, value_for rng dom))
+      (Edm.Schema.attributes schema etype)
+  in
+  Edm.Instance.entity ~etype attrs
+
+(* Keys are globally sequential, so cross-set references are unambiguous and
+   intra-set keys unique. *)
+let instance ?(seed = 42) ?(entities_per_set = 5) schema =
+  let rng = Random.State.make [| seed |] in
+  let next_id = ref 0 in
+  let inst =
+    List.fold_left
+      (fun inst (set, root) ->
+        let types = Array.of_list (Edm.Schema.subtypes schema root) in
+        let count = Random.State.int rng (entities_per_set + 1) in
+        List.fold_left
+          (fun inst _ ->
+            incr next_id;
+            let etype = types.(Random.State.int rng (Array.length types)) in
+            Edm.Instance.add_entity ~set (entity_of rng schema ~etype ~id:!next_id) inst)
+          inst
+          (List.init count Fun.id))
+      Edm.Instance.empty (Edm.Schema.entity_sets schema)
+  in
+  (* Associations: sample pairs, bounding each one-side endpoint to a single
+     partner. *)
+  let keys_of etype =
+    match Edm.Schema.set_of_type schema etype with
+    | None -> []
+    | Some set ->
+        Edm.Instance.entities inst ~set
+        |> List.filter (fun (e : Edm.Instance.entity) ->
+               Edm.Schema.is_subtype schema ~sub:e.Edm.Instance.etype ~sup:etype)
+        |> List.map (fun (e : Edm.Instance.entity) ->
+               List.map
+                 (fun k -> Datum.Row.get k e.Edm.Instance.attrs)
+                 (Edm.Schema.key_of schema etype))
+  in
+  List.fold_left
+    (fun inst (a : Edm.Association.t) ->
+      let ends1 = keys_of a.Edm.Association.end1 and ends2 = keys_of a.Edm.Association.end2 in
+      if ends1 = [] || ends2 = [] then inst
+      else
+        let bound1 = a.Edm.Association.mult1 <> Edm.Association.Many in
+        let bound2 = a.Edm.Association.mult2 <> Edm.Association.Many in
+        let used1 = ref [] and used2 = ref [] in
+        let count = Random.State.int rng (min 3 (List.length ends1) + 1) in
+        List.fold_left
+          (fun inst _ ->
+            let k1 = List.nth ends1 (Random.State.int rng (List.length ends1)) in
+            let k2 = List.nth ends2 (Random.State.int rng (List.length ends2)) in
+            (* mult2 bounds partners per end1 value; mult1 per end2 value. *)
+            if (bound2 && List.mem k1 !used1) || (bound1 && List.mem k2 !used2) then inst
+            else begin
+              used1 := k1 :: !used1;
+              used2 := k2 :: !used2;
+              let key1 = Edm.Schema.key_of schema a.Edm.Association.end1 in
+              let key2 = Edm.Schema.key_of schema a.Edm.Association.end2 in
+              let row =
+                Datum.Row.of_list
+                  (List.map2
+                     (fun k v -> (Edm.Association.qualify ~etype:a.Edm.Association.end1 k, v))
+                     key1 k1
+                  @ List.map2
+                      (fun k v -> (Edm.Association.qualify ~etype:a.Edm.Association.end2 k, v))
+                      key2 k2)
+              in
+              (* Avoid duplicate tuples. *)
+              if
+                List.exists (Datum.Row.equal row)
+                  (Edm.Instance.links inst ~assoc:a.Edm.Association.name)
+              then inst
+              else Edm.Instance.add_link ~assoc:a.Edm.Association.name row inst
+            end)
+          inst
+          (List.init count Fun.id))
+    inst
+    (Edm.Schema.associations schema)

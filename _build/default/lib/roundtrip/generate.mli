@@ -1,0 +1,13 @@
+(** Schema-driven random client states.
+
+    Works for any client schema: entities of random concrete types with
+    unique sequential keys and domain-respecting attribute values (with
+    occasional [NULL]s in nullable attributes), and association tuples
+    drawn between existing endpoint instances without violating the
+    declared multiplicities.  Deterministic for a fixed seed. *)
+
+val instance : ?seed:int -> ?entities_per_set:int -> Edm.Schema.t -> Edm.Instance.t
+(** The result always satisfies [Edm.Instance.conforms]. *)
+
+val value_for : Random.State.t -> Datum.Domain.t -> Datum.Value.t
+(** A random non-null value of the domain. *)

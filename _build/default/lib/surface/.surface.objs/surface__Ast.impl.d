@@ -1,0 +1,1 @@
+lib/surface/ast.pp.ml: Datum List Ppx_deriving_runtime Query

@@ -1,0 +1,1 @@
+lib/surface/elaborate.pp.ml: Ast Core Datum Dml Edm Format List Mapping Query Relational Result String

@@ -1,0 +1,1 @@
+lib/surface/elaborate.pp.mli: Ast Core Datum Dml Edm Mapping Query Relational

@@ -1,0 +1,1 @@
+lib/surface/lexer.pp.mli:

@@ -1,0 +1,1 @@
+lib/surface/parser.pp.ml: Ast Datum Format Lexer List Printf Query String

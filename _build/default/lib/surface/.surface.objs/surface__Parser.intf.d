@@ -1,0 +1,1 @@
+lib/surface/parser.pp.mli: Ast Query

@@ -1,0 +1,1 @@
+lib/surface/print_dsl.pp.ml: Buffer Core Datum Edm List Mapping Option Printf Query Relational String

@@ -1,0 +1,1 @@
+lib/surface/print_dsl.pp.mli: Core Edm Mapping Query Relational

@@ -1,0 +1,1 @@
+lib/surface/sexp.pp.ml: Buffer Format List Ppx_deriving_runtime Printf Result String

@@ -1,0 +1,1 @@
+lib/surface/sexp.pp.mli:

@@ -1,0 +1,1 @@
+lib/surface/state_io.pp.ml: Core Datum Edm Format List Mapping Option Printf Query Relational Result Sexp

@@ -1,0 +1,1 @@
+lib/surface/state_io.pp.mli: Core Query Sexp

@@ -1,0 +1,117 @@
+(* Surface abstract syntax, halfway between the token stream and the
+   semantic objects of [Edm]/[Relational]/[Mapping]/[Core]. *)
+
+type domain = D_int | D_string | D_bool | D_decimal | D_enum of string list
+[@@deriving eq, show { with_path = false }]
+
+type attr = { a_name : string; a_domain : domain; a_key : bool; a_non_null : bool }
+[@@deriving eq, show { with_path = false }]
+
+type etype = { t_name : string; t_parent : string option; t_attrs : attr list }
+[@@deriving eq, show { with_path = false }]
+
+type mult = M_one | M_zero_one | M_many [@@deriving eq, show { with_path = false }]
+
+type assoc = {
+  as_name : string;
+  as_end1 : string;
+  as_end2 : string;
+  as_mult1 : mult;
+  as_mult2 : mult;
+}
+[@@deriving eq, show { with_path = false }]
+
+type eset = { s_name : string; s_root : string } [@@deriving eq, show { with_path = false }]
+
+type column = { c_name : string; c_domain : domain; c_not_null : bool }
+[@@deriving eq, show { with_path = false }]
+
+type fk = { fk_cols : string list; fk_ref : string; fk_ref_cols : string list }
+[@@deriving eq, show { with_path = false }]
+
+type table = { tb_name : string; tb_cols : column list; tb_key : string list; tb_fks : fk list }
+[@@deriving eq, show { with_path = false }]
+
+type fragment = {
+  fr_source : string;                 (* an entity-set or association name *)
+  fr_cond : Query.Cond.t;
+  fr_pairs : (string * string) list;
+  fr_table : string;
+  fr_store_cond : Query.Cond.t;
+}
+
+type model = {
+  types : etype list;
+  sets : eset list;
+  assocs : assoc list;
+  tables : table list;
+  fragments : fragment list;
+}
+
+type part = {
+  p_alpha : string list;
+  p_cond : Query.Cond.t;
+  p_table : table;
+  p_pairs : (string * string) list;
+}
+
+type property_target =
+  | P_existing of { table : string; column : string }
+  | P_new of { table : table; pairs : (string * string) list }
+
+type smo =
+  | S_add_entity of {
+      name : string; parent : string; attrs : attr list;
+      alpha : string list; reference : string option;
+      table : table; pairs : (string * string) list;
+    }
+  | S_add_entity_tph of {
+      name : string; parent : string; attrs : attr list;
+      table : string; disc : string * Datum.Value.t; pairs : (string * string) list;
+    }
+  | S_add_entity_part of {
+      name : string; parent : string; attrs : attr list;
+      reference : string option; parts : part list;
+    }
+  | S_add_assoc_fk of { assoc : assoc; table : string; pairs : (string * string) list }
+  | S_add_assoc_jt of { assoc : assoc; table : table; pairs : (string * string) list }
+  | S_add_property of {
+      etype : string; attr : string; domain : domain; target : property_target;
+    }
+  | S_drop_entity of string
+  | S_drop_assoc of string
+  | S_drop_property of { etype : string; attr : string }
+  | S_widen of { etype : string; attr : string; domain : domain }
+  | S_set_mult of { assoc : string; mult1 : mult; mult2 : mult }
+  | S_refactor of string
+
+type script = smo list
+
+(* -- queries, data and DML ----------------------------------------------- *)
+
+type select_item = { si_col : string; si_as : string option }
+
+type query = {
+  q_items : select_item list option;  (* None = select * *)
+  q_source : string;                  (* entity set or association *)
+  q_where : Query.Cond.t option;
+}
+
+type datum_row = (string * Datum.Value.t) list
+
+type data_decl = {
+  d_source : string;                  (* entity set or association *)
+  d_type : string option;             (* entity type; None for links *)
+  d_bindings : datum_row;
+}
+
+type data = data_decl list
+
+type dml_stmt =
+  | M_insert of { set : string; etype : string; bindings : datum_row }
+  | M_update of { set : string; key : datum_row; changes : datum_row }
+  | M_delete of { set : string; key : datum_row }
+  | M_link of { assoc : string; bindings : datum_row }
+  | M_unlink of { assoc : string; bindings : datum_row }
+
+type dml = dml_stmt list

@@ -1,0 +1,26 @@
+(** Elaboration: surface syntax to the semantic objects of the compiler.
+
+    Name resolution and well-formedness beyond the grammar (unknown parents,
+    sets without roots, fragments over unknown sources) are reported with
+    the offending names; everything that passes elaboration also passes the
+    semantic layers' own constructors, whose errors are propagated. *)
+
+val domain : Ast.domain -> Datum.Domain.t
+val table : Ast.table -> (Relational.Table.t, string) result
+
+val model : Ast.model -> (Query.Env.t * Mapping.Fragments.t, string) result
+(** Builds the client schema (types in dependency order), the store schema
+    and the fragment set.  The result is checked with the semantic
+    [well_formed] predicates before being returned. *)
+
+val smo : Ast.smo -> (Core.Smo.t, string) result
+val script : Ast.script -> (Core.Smo.t list, string) result
+
+val query : Query.Env.t -> Ast.query -> (Query.Algebra.t, string) result
+(** Resolve the source name against the environment and type-check the
+    result with [Query.Algebra.infer]. *)
+
+val data : Query.Env.t -> Ast.data -> (Edm.Instance.t, string) result
+(** Build a client state and check it with [Edm.Instance.conforms]. *)
+
+val dml : Ast.dml -> (Dml.Delta.t, string) result

@@ -1,0 +1,22 @@
+(** Lexer for the model and SMO-script surface syntax. *)
+
+type token =
+  | Ident of string   (** identifiers, possibly dotted: [Customer.Id] *)
+  | Int of int
+  | Float of float
+  | Str of string     (** double-quoted *)
+  | LBrace | RBrace | LParen | RParen
+  | Semi | Colon | Comma
+  | Arrow             (** -> *)
+  | DotDot            (** .. *)
+  | Star
+  | Op of string      (** = <> < <= > >= *)
+  | Eof
+
+type spanned = { token : token; line : int; col : int }
+
+val tokenize : string -> (spanned list, string) result
+(** The list always ends with an {!Eof} token.  [//] and [#] start comments
+    to end of line. *)
+
+val describe : token -> string

@@ -1,0 +1,69 @@
+(** Recursive-descent parser for the surface syntax.
+
+    A model file has up to three sections:
+
+    {v
+    client {
+      set Persons of Person;
+      type Person { key Id : int; Name : string; }
+      type Employee : Person { Department : string; }
+      assoc Supports between Customer and Employee multiplicity * to 0..1;
+    }
+    store {
+      table HR { Id : int not null; Name : string; key (Id); }
+      table Emp { Id : int not null; Dept : string; key (Id);
+                  fk (Id) references HR (Id); }
+    }
+    mapping {
+      fragment Persons where is of Employee
+        maps (Id -> Id, Department -> Dept) to Emp;
+      fragment Supports maps (Customer.Id -> Cid, Employee.Id -> Eid)
+        to Client where Eid is not null;
+    }
+    v}
+
+    An SMO script is a sequence of statements such as:
+
+    {v
+    add entity Employee : Person { Department : string; }
+      alpha (Id, Department) reference Person
+      to table Emp { Id : int not null; Dept : string; key (Id); }
+      map (Id -> Id, Department -> Dept);
+
+    add assoc Supports between Customer and Employee multiplicity * to 0..1
+      fk in Client map (Customer.Id -> Cid, Employee.Id -> Eid);
+
+    add property Employee.Level : int in Emp column Level;
+    drop entity Customer;
+    refactor Heads;
+    v}
+
+    Errors carry a line/column position and what was expected. *)
+
+val model : string -> (Ast.model, string) result
+val script : string -> (Ast.script, string) result
+val condition : string -> (Query.Cond.t, string) result
+(** Parse a standalone condition — handy for tests and the CLI. *)
+
+val query : string -> (Ast.query, string) result
+(** [select Id, Name from Persons where is of Employee] — project–select
+    over one entity set or association ([select *] for all columns). *)
+
+val data : string -> (Ast.data, string) result
+(** A client-state literal:
+    {v
+    data {
+      Persons: Employee (Id = 2, Name = "Bob", Department = "Sales");
+      Supports: (Customer.Id = 3, Employee.Id = 2);
+    }
+    v} *)
+
+val dml : string -> (Ast.dml, string) result
+(** A client-side update script:
+    {v
+    insert Persons Employee (Id = 9, Name = "Hal", Department = "IT");
+    update Persons (Id = 1) set (Name = "Anya");
+    delete Persons (Id = 2);
+    link Supports (Customer.Id = 5, Employee.Id = 4);
+    unlink Supports (Customer.Id = 5, Employee.Id = 4);
+    v} *)

@@ -1,0 +1,175 @@
+type t = Atom of string | List of t list [@@deriving eq]
+
+let atom s = Atom s
+let list l = List l
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (function ' ' | '\t' | '\n' | '(' | ')' | '"' | ';' -> true | _ -> false)
+       s
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec to_string = function
+  | Atom s -> if needs_quoting s then escape s else s
+  | List l -> "(" ^ String.concat " " (List.map to_string l) ^ ")"
+
+let rec pp_hum fmt = function
+  | Atom _ as a -> Format.pp_print_string fmt (to_string a)
+  | List l when List.for_all (function Atom _ -> true | List _ -> false) l ->
+      Format.pp_print_string fmt (to_string (List l))
+  | List l ->
+      Format.fprintf fmt "@[<v 1>(%a)@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_hum)
+        l
+
+let to_string_hum s = Format.asprintf "%a" pp_hum s
+
+(* -- parsing --------------------------------------------------------------- *)
+
+exception Parse_error of int * string
+
+let parse_all input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        (* comment to end of line *)
+        while peek () <> None && peek () <> Some '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error (!pos, "unterminated string"))
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+          | Some c -> advance (); Buffer.add_char b c; go ()
+          | None -> raise (Parse_error (!pos, "unterminated escape")))
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents b)
+  in
+  let parse_bare () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ();
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error (!pos, "unexpected end of input"))
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec go () =
+          skip_ws ();
+          match peek () with
+          | Some ')' -> advance ()
+          | None -> raise (Parse_error (!pos, "unclosed parenthesis"))
+          | Some _ ->
+              items := parse_one () :: !items;
+              go ()
+        in
+        go ();
+        List (List.rev !items)
+    | Some ')' -> raise (Parse_error (!pos, "unexpected )"))
+    | Some '"' -> parse_quoted ()
+    | Some _ -> parse_bare ()
+  in
+  let out = ref [] in
+  skip_ws ();
+  while !pos < n do
+    out := parse_one () :: !out;
+    skip_ws ()
+  done;
+  List.rev !out
+
+let of_string_many input =
+  match parse_all input with
+  | sexps -> Ok sexps
+  | exception Parse_error (pos, msg) -> Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+let of_string input =
+  match of_string_many input with
+  | Ok [ s ] -> Ok s
+  | Ok [] -> Error "empty input"
+  | Ok _ -> Error "trailing s-expressions after the first"
+  | Error e -> Error e
+
+(* -- combinators ----------------------------------------------------------- *)
+
+let string s = Atom s
+let int i = Atom (string_of_int i)
+let bool b = Atom (if b then "true" else "false")
+let pair a b = List [ a; b ]
+let field name args = List (Atom name :: args)
+
+let as_atom = function
+  | Atom s -> Ok s
+  | List _ as s -> Error ("expected atom, got " ^ to_string s)
+
+let as_int s =
+  Result.bind (as_atom s) (fun a ->
+      match int_of_string_opt a with Some i -> Ok i | None -> Error ("not an int: " ^ a))
+
+let as_bool s =
+  Result.bind (as_atom s) (function
+    | "true" -> Ok true
+    | "false" -> Ok false
+    | a -> Error ("not a bool: " ^ a))
+
+let as_list = function
+  | List l -> Ok l
+  | Atom _ as s -> Error ("expected list, got " ^ to_string s)
+
+let as_field name = function
+  | List (Atom n :: args) when n = name -> Ok args
+  | s -> Error (Printf.sprintf "expected (%s ...), got %s" name (to_string s))
+
+let assoc_opt name fields =
+  List.find_map
+    (function List (Atom n :: args) when n = name -> Some args | _ -> None)
+    fields
+
+let assoc name fields =
+  match assoc_opt name fields with
+  | Some args -> Ok args
+  | None -> Error ("missing field " ^ name)

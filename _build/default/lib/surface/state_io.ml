@@ -1,0 +1,511 @@
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let rec map_ok f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_ok f rest in
+      Ok (y :: ys)
+
+(* -- values and domains ------------------------------------------------------ *)
+
+let sexp_of_value = function
+  | Datum.Value.Null -> Sexp.atom "null"
+  | Datum.Value.Int i -> Sexp.field "int" [ Sexp.int i ]
+  | Datum.Value.String s -> Sexp.field "str" [ Sexp.string s ]
+  | Datum.Value.Bool b -> Sexp.field "bool" [ Sexp.bool b ]
+  | Datum.Value.Decimal f -> Sexp.field "dec" [ Sexp.atom (Printf.sprintf "%h" f) ]
+
+let value_of_sexp = function
+  | Sexp.Atom "null" -> Ok Datum.Value.Null
+  | Sexp.List [ Sexp.Atom "int"; i ] -> Result.map (fun i -> Datum.Value.Int i) (Sexp.as_int i)
+  | Sexp.List [ Sexp.Atom "str"; s ] ->
+      Result.map (fun s -> Datum.Value.String s) (Sexp.as_atom s)
+  | Sexp.List [ Sexp.Atom "bool"; b ] ->
+      Result.map (fun b -> Datum.Value.Bool b) (Sexp.as_bool b)
+  | Sexp.List [ Sexp.Atom "dec"; f ] ->
+      let* a = Sexp.as_atom f in
+      (match float_of_string_opt a with
+      | Some f -> Ok (Datum.Value.Decimal f)
+      | None -> fail "bad decimal %s" a)
+  | s -> fail "bad value %s" (Sexp.to_string s)
+
+let sexp_of_domain = function
+  | Datum.Domain.Int -> Sexp.atom "int"
+  | Datum.Domain.String -> Sexp.atom "string"
+  | Datum.Domain.Bool -> Sexp.atom "bool"
+  | Datum.Domain.Decimal -> Sexp.atom "decimal"
+  | Datum.Domain.Enum values -> Sexp.field "enum" (List.map Sexp.string values)
+
+let domain_of_sexp = function
+  | Sexp.Atom "int" -> Ok Datum.Domain.Int
+  | Sexp.Atom "string" -> Ok Datum.Domain.String
+  | Sexp.Atom "bool" -> Ok Datum.Domain.Bool
+  | Sexp.Atom "decimal" -> Ok Datum.Domain.Decimal
+  | Sexp.List (Sexp.Atom "enum" :: values) ->
+      Result.map (fun v -> Datum.Domain.Enum v) (map_ok Sexp.as_atom values)
+  | s -> fail "bad domain %s" (Sexp.to_string s)
+
+(* -- conditions --------------------------------------------------------------- *)
+
+let cmp_to_string = function
+  | Query.Cond.Eq -> "=" | Query.Cond.Neq -> "<>" | Query.Cond.Lt -> "<"
+  | Query.Cond.Le -> "<=" | Query.Cond.Gt -> ">" | Query.Cond.Ge -> ">="
+
+let cmp_of_string = function
+  | "=" -> Ok Query.Cond.Eq | "<>" -> Ok Query.Cond.Neq | "<" -> Ok Query.Cond.Lt
+  | "<=" -> Ok Query.Cond.Le | ">" -> Ok Query.Cond.Gt | ">=" -> Ok Query.Cond.Ge
+  | s -> fail "bad comparison %s" s
+
+let rec sexp_of_cond = function
+  | Query.Cond.True -> Sexp.atom "true"
+  | Query.Cond.False -> Sexp.atom "false"
+  | Query.Cond.Is_of e -> Sexp.field "isof" [ Sexp.string e ]
+  | Query.Cond.Is_of_only e -> Sexp.field "isofonly" [ Sexp.string e ]
+  | Query.Cond.Is_null a -> Sexp.field "isnull" [ Sexp.string a ]
+  | Query.Cond.Is_not_null a -> Sexp.field "notnull" [ Sexp.string a ]
+  | Query.Cond.Cmp (a, op, v) ->
+      Sexp.field "cmp" [ Sexp.string a; Sexp.atom (cmp_to_string op); sexp_of_value v ]
+  | Query.Cond.And (a, b) -> Sexp.field "and" [ sexp_of_cond a; sexp_of_cond b ]
+  | Query.Cond.Or (a, b) -> Sexp.field "or" [ sexp_of_cond a; sexp_of_cond b ]
+
+let rec cond_of_sexp = function
+  | Sexp.Atom "true" -> Ok Query.Cond.True
+  | Sexp.Atom "false" -> Ok Query.Cond.False
+  | Sexp.List [ Sexp.Atom "isof"; e ] -> Result.map (fun e -> Query.Cond.Is_of e) (Sexp.as_atom e)
+  | Sexp.List [ Sexp.Atom "isofonly"; e ] ->
+      Result.map (fun e -> Query.Cond.Is_of_only e) (Sexp.as_atom e)
+  | Sexp.List [ Sexp.Atom "isnull"; a ] ->
+      Result.map (fun a -> Query.Cond.Is_null a) (Sexp.as_atom a)
+  | Sexp.List [ Sexp.Atom "notnull"; a ] ->
+      Result.map (fun a -> Query.Cond.Is_not_null a) (Sexp.as_atom a)
+  | Sexp.List [ Sexp.Atom "cmp"; a; op; v ] ->
+      let* a = Sexp.as_atom a in
+      let* op = Result.bind (Sexp.as_atom op) cmp_of_string in
+      let* v = value_of_sexp v in
+      Ok (Query.Cond.Cmp (a, op, v))
+  | Sexp.List [ Sexp.Atom "and"; a; b ] ->
+      let* a = cond_of_sexp a in
+      let* b = cond_of_sexp b in
+      Ok (Query.Cond.And (a, b))
+  | Sexp.List [ Sexp.Atom "or"; a; b ] ->
+      let* a = cond_of_sexp a in
+      let* b = cond_of_sexp b in
+      Ok (Query.Cond.Or (a, b))
+  | s -> fail "bad condition %s" (Sexp.to_string s)
+
+(* -- algebra -------------------------------------------------------------------- *)
+
+let sexp_of_source = function
+  | Query.Algebra.Entity_set s -> Sexp.field "set" [ Sexp.string s ]
+  | Query.Algebra.Assoc_set a -> Sexp.field "assoc" [ Sexp.string a ]
+  | Query.Algebra.Table t -> Sexp.field "table" [ Sexp.string t ]
+
+let source_of_sexp = function
+  | Sexp.List [ Sexp.Atom "set"; s ] ->
+      Result.map (fun s -> Query.Algebra.Entity_set s) (Sexp.as_atom s)
+  | Sexp.List [ Sexp.Atom "assoc"; a ] ->
+      Result.map (fun a -> Query.Algebra.Assoc_set a) (Sexp.as_atom a)
+  | Sexp.List [ Sexp.Atom "table"; t ] ->
+      Result.map (fun t -> Query.Algebra.Table t) (Sexp.as_atom t)
+  | s -> fail "bad source %s" (Sexp.to_string s)
+
+let sexp_of_item = function
+  | Query.Algebra.Col { src; dst } -> Sexp.field "col" [ Sexp.string src; Sexp.string dst ]
+  | Query.Algebra.Const { value; dst } -> Sexp.field "const" [ sexp_of_value value; Sexp.string dst ]
+  | Query.Algebra.Coalesce { srcs; dst } ->
+      Sexp.field "coalesce" [ Sexp.list (List.map Sexp.string srcs); Sexp.string dst ]
+
+let item_of_sexp = function
+  | Sexp.List [ Sexp.Atom "col"; src; dst ] ->
+      let* src = Sexp.as_atom src in
+      let* dst = Sexp.as_atom dst in
+      Ok (Query.Algebra.Col { src; dst })
+  | Sexp.List [ Sexp.Atom "const"; v; dst ] ->
+      let* value = value_of_sexp v in
+      let* dst = Sexp.as_atom dst in
+      Ok (Query.Algebra.Const { value; dst })
+  | Sexp.List [ Sexp.Atom "coalesce"; srcs; dst ] ->
+      let* srcs = Result.bind (Sexp.as_list srcs) (map_ok Sexp.as_atom) in
+      let* dst = Sexp.as_atom dst in
+      Ok (Query.Algebra.Coalesce { srcs; dst })
+  | s -> fail "bad projection item %s" (Sexp.to_string s)
+
+let rec sexp_of_query = function
+  | Query.Algebra.Scan src -> Sexp.field "scan" [ sexp_of_source src ]
+  | Query.Algebra.Select (c, q) -> Sexp.field "select" [ sexp_of_cond c; sexp_of_query q ]
+  | Query.Algebra.Project (items, q) ->
+      Sexp.field "project" [ Sexp.list (List.map sexp_of_item items); sexp_of_query q ]
+  | Query.Algebra.Join (l, r, on) ->
+      Sexp.field "join" [ sexp_of_query l; sexp_of_query r; Sexp.list (List.map Sexp.string on) ]
+  | Query.Algebra.Left_outer_join (l, r, on) ->
+      Sexp.field "loj" [ sexp_of_query l; sexp_of_query r; Sexp.list (List.map Sexp.string on) ]
+  | Query.Algebra.Full_outer_join (l, r, on) ->
+      Sexp.field "foj" [ sexp_of_query l; sexp_of_query r; Sexp.list (List.map Sexp.string on) ]
+  | Query.Algebra.Union_all (l, r) -> Sexp.field "union" [ sexp_of_query l; sexp_of_query r ]
+
+let rec query_of_sexp = function
+  | Sexp.List [ Sexp.Atom "scan"; src ] ->
+      Result.map (fun s -> Query.Algebra.Scan s) (source_of_sexp src)
+  | Sexp.List [ Sexp.Atom "select"; c; q ] ->
+      let* c = cond_of_sexp c in
+      let* q = query_of_sexp q in
+      Ok (Query.Algebra.Select (c, q))
+  | Sexp.List [ Sexp.Atom "project"; items; q ] ->
+      let* items = Result.bind (Sexp.as_list items) (map_ok item_of_sexp) in
+      let* q = query_of_sexp q in
+      Ok (Query.Algebra.Project (items, q))
+  | Sexp.List [ Sexp.Atom kind; l; r; on ]
+    when kind = "join" || kind = "loj" || kind = "foj" ->
+      let* l = query_of_sexp l in
+      let* r = query_of_sexp r in
+      let* on = Result.bind (Sexp.as_list on) (map_ok Sexp.as_atom) in
+      Ok
+        (match kind with
+        | "join" -> Query.Algebra.Join (l, r, on)
+        | "loj" -> Query.Algebra.Left_outer_join (l, r, on)
+        | _ -> Query.Algebra.Full_outer_join (l, r, on))
+  | Sexp.List [ Sexp.Atom "union"; l; r ] ->
+      let* l = query_of_sexp l in
+      let* r = query_of_sexp r in
+      Ok (Query.Algebra.Union_all (l, r))
+  | s -> fail "bad query %s" (Sexp.to_string s)
+
+(* -- constructors and views ------------------------------------------------------ *)
+
+let rec sexp_of_ctor = function
+  | Query.Ctor.Entity { etype; attrs } ->
+      Sexp.field "entity" [ Sexp.string etype; Sexp.list (List.map Sexp.string attrs) ]
+  | Query.Ctor.Tuple cols -> Sexp.field "tuple" [ Sexp.list (List.map Sexp.string cols) ]
+  | Query.Ctor.If (c, a, b) ->
+      Sexp.field "if" [ sexp_of_cond c; sexp_of_ctor a; sexp_of_ctor b ]
+
+let rec ctor_of_sexp = function
+  | Sexp.List [ Sexp.Atom "entity"; etype; attrs ] ->
+      let* etype = Sexp.as_atom etype in
+      let* attrs = Result.bind (Sexp.as_list attrs) (map_ok Sexp.as_atom) in
+      Ok (Query.Ctor.Entity { etype; attrs })
+  | Sexp.List [ Sexp.Atom "tuple"; cols ] ->
+      let* cols = Result.bind (Sexp.as_list cols) (map_ok Sexp.as_atom) in
+      Ok (Query.Ctor.Tuple cols)
+  | Sexp.List [ Sexp.Atom "if"; c; a; b ] ->
+      let* c = cond_of_sexp c in
+      let* a = ctor_of_sexp a in
+      let* b = ctor_of_sexp b in
+      Ok (Query.Ctor.If (c, a, b))
+  | s -> fail "bad constructor %s" (Sexp.to_string s)
+
+let sexp_of_view (v : Query.View.t) =
+  Sexp.field "view" [ sexp_of_query v.Query.View.query; sexp_of_ctor v.Query.View.ctor ]
+
+let view_of_sexp s =
+  let* args = Sexp.as_field "view" s in
+  match args with
+  | [ q; c ] ->
+      let* query = query_of_sexp q in
+      let* ctor = ctor_of_sexp c in
+      Ok { Query.View.query; ctor }
+  | _ -> fail "bad view %s" (Sexp.to_string s)
+
+(* -- schemas ---------------------------------------------------------------------- *)
+
+let sexp_of_etype (e : Edm.Entity_type.t) =
+  Sexp.field "type"
+    [
+      Sexp.string e.Edm.Entity_type.name;
+      (match e.Edm.Entity_type.parent with None -> Sexp.atom "_" | Some p -> Sexp.string p);
+      Sexp.list
+        (List.map (fun (a, d) -> Sexp.pair (Sexp.string a) (sexp_of_domain d))
+           e.Edm.Entity_type.declared);
+      Sexp.list (List.map Sexp.string e.Edm.Entity_type.key);
+      Sexp.list (List.map Sexp.string e.Edm.Entity_type.non_null);
+    ]
+
+let etype_of_sexp s =
+  let* args = Sexp.as_field "type" s in
+  match args with
+  | [ name; parent; declared; key; non_null ] ->
+      let* name = Sexp.as_atom name in
+      let* parent =
+        match parent with Sexp.Atom "_" -> Ok None | p -> Result.map Option.some (Sexp.as_atom p)
+      in
+      let* declared =
+        Result.bind (Sexp.as_list declared)
+          (map_ok (function
+            | Sexp.List [ a; d ] ->
+                let* a = Sexp.as_atom a in
+                let* d = domain_of_sexp d in
+                Ok (a, d)
+            | s -> fail "bad attribute %s" (Sexp.to_string s)))
+      in
+      let* key = Result.bind (Sexp.as_list key) (map_ok Sexp.as_atom) in
+      let* non_null = Result.bind (Sexp.as_list non_null) (map_ok Sexp.as_atom) in
+      Ok { Edm.Entity_type.name; parent; declared; key; non_null }
+  | _ -> fail "bad entity type %s" (Sexp.to_string s)
+
+let mult_to_string = function
+  | Edm.Association.One -> "one"
+  | Edm.Association.Zero_or_one -> "zero_or_one"
+  | Edm.Association.Many -> "many"
+
+let mult_of_string = function
+  | "one" -> Ok Edm.Association.One
+  | "zero_or_one" -> Ok Edm.Association.Zero_or_one
+  | "many" -> Ok Edm.Association.Many
+  | s -> fail "bad multiplicity %s" s
+
+let sexp_of_client client =
+  Sexp.field "client"
+    (List.map sexp_of_etype (Edm.Schema.types client)
+    @ List.map
+        (fun (set, root) -> Sexp.field "eset" [ Sexp.string set; Sexp.string root ])
+        (Edm.Schema.entity_sets client)
+    @ List.map
+        (fun (a : Edm.Association.t) ->
+          Sexp.field "rel"
+            [ Sexp.string a.Edm.Association.name; Sexp.string a.Edm.Association.end1;
+              Sexp.string a.Edm.Association.end2;
+              Sexp.atom (mult_to_string a.Edm.Association.mult1);
+              Sexp.atom (mult_to_string a.Edm.Association.mult2) ])
+        (Edm.Schema.associations client))
+
+let client_of_sexp s =
+  let* fields = Sexp.as_field "client" s in
+  (* Types in dependency order: roots first. *)
+  let* types =
+    map_ok etype_of_sexp
+      (List.filter (function Sexp.List (Sexp.Atom "type" :: _) -> true | _ -> false) fields)
+  in
+  let sets =
+    List.filter_map
+      (function
+        | Sexp.List [ Sexp.Atom "eset"; Sexp.Atom set; Sexp.Atom root ] -> Some (set, root)
+        | _ -> None)
+      fields
+  in
+  let rec place placed pending schema =
+    match pending with
+    | [] -> Ok schema
+    | _ -> (
+        let ready, blocked =
+          List.partition
+            (fun (e : Edm.Entity_type.t) ->
+              match e.Edm.Entity_type.parent with None -> true | Some p -> List.mem p placed)
+            pending
+        in
+        match ready with
+        | [] -> fail "unresolvable parents in saved client schema"
+        | _ ->
+            let* schema =
+              List.fold_left
+                (fun acc (e : Edm.Entity_type.t) ->
+                  let* schema = acc in
+                  match e.Edm.Entity_type.parent with
+                  | Some _ -> Edm.Schema.add_derived e schema
+                  | None -> (
+                      match List.find_opt (fun (_, root) -> root = e.Edm.Entity_type.name) sets with
+                      | Some (set, _) -> Edm.Schema.add_root ~set e schema
+                      | None -> fail "saved root %s has no entity set" e.Edm.Entity_type.name))
+                (Ok schema) ready
+            in
+            place
+              (placed @ List.map (fun (e : Edm.Entity_type.t) -> e.Edm.Entity_type.name) ready)
+              blocked schema)
+  in
+  let* schema = place [] types Edm.Schema.empty in
+  List.fold_left
+    (fun acc s ->
+      let* schema = acc in
+      match s with
+      | Sexp.List [ Sexp.Atom "rel"; name; e1; e2; m1; m2 ] ->
+          let* name = Sexp.as_atom name in
+          let* end1 = Sexp.as_atom e1 in
+          let* end2 = Sexp.as_atom e2 in
+          let* mult1 = Result.bind (Sexp.as_atom m1) mult_of_string in
+          let* mult2 = Result.bind (Sexp.as_atom m2) mult_of_string in
+          Edm.Schema.add_association { Edm.Association.name; end1; end2; mult1; mult2 } schema
+      | _ -> Ok schema)
+    (Ok schema) fields
+
+let sexp_of_table (t : Relational.Table.t) =
+  Sexp.field "table"
+    [
+      Sexp.string t.Relational.Table.name;
+      Sexp.list
+        (List.map
+           (fun (c : Relational.Table.column) ->
+             Sexp.list
+               [ Sexp.string c.Relational.Table.cname; sexp_of_domain c.Relational.Table.domain;
+                 Sexp.bool c.Relational.Table.nullable ])
+           t.Relational.Table.columns);
+      Sexp.list (List.map Sexp.string t.Relational.Table.key);
+      Sexp.list
+        (List.map
+           (fun (fk : Relational.Table.foreign_key) ->
+             Sexp.list
+               [ Sexp.list (List.map Sexp.string fk.Relational.Table.fk_columns);
+                 Sexp.string fk.Relational.Table.ref_table;
+                 Sexp.list (List.map Sexp.string fk.Relational.Table.ref_columns) ])
+           t.Relational.Table.fks);
+    ]
+
+let table_of_sexp s =
+  let* args = Sexp.as_field "table" s in
+  match args with
+  | [ name; cols; key; fks ] ->
+      let* name = Sexp.as_atom name in
+      let* columns =
+        Result.bind (Sexp.as_list cols)
+          (map_ok (function
+            | Sexp.List [ c; d; n ] ->
+                let* cname = Sexp.as_atom c in
+                let* domain = domain_of_sexp d in
+                let* nullable = Sexp.as_bool n in
+                Ok { Relational.Table.cname; domain; nullable }
+            | s -> fail "bad column %s" (Sexp.to_string s)))
+      in
+      let* key = Result.bind (Sexp.as_list key) (map_ok Sexp.as_atom) in
+      let* fks =
+        Result.bind (Sexp.as_list fks)
+          (map_ok (function
+            | Sexp.List [ fkc; ref_t; refc ] ->
+                let* fk_columns = Result.bind (Sexp.as_list fkc) (map_ok Sexp.as_atom) in
+                let* ref_table = Sexp.as_atom ref_t in
+                let* ref_columns = Result.bind (Sexp.as_list refc) (map_ok Sexp.as_atom) in
+                Ok { Relational.Table.fk_columns; ref_table; ref_columns }
+            | s -> fail "bad foreign key %s" (Sexp.to_string s)))
+      in
+      Ok { Relational.Table.name; columns; key; fks }
+  | _ -> fail "bad table %s" (Sexp.to_string s)
+
+let sexp_of_store store =
+  Sexp.field "store" (List.map sexp_of_table (Relational.Schema.tables store))
+
+let store_of_sexp s =
+  let* tables = Sexp.as_field "store" s in
+  List.fold_left
+    (fun acc t ->
+      let* schema = acc in
+      let* tbl = table_of_sexp t in
+      Relational.Schema.add_table tbl schema)
+    (Ok Relational.Schema.empty) tables
+
+(* -- fragments ---------------------------------------------------------------------- *)
+
+let sexp_of_fragment (f : Mapping.Fragment.t) =
+  let source =
+    match f.Mapping.Fragment.client_source with
+    | Mapping.Fragment.Set s -> Sexp.field "set" [ Sexp.string s ]
+    | Mapping.Fragment.Assoc a -> Sexp.field "assoc" [ Sexp.string a ]
+  in
+  Sexp.field "frag"
+    [
+      source;
+      sexp_of_cond f.Mapping.Fragment.client_cond;
+      Sexp.list
+        (List.map (fun (a, c) -> Sexp.pair (Sexp.string a) (Sexp.string c)) f.Mapping.Fragment.pairs);
+      Sexp.string f.Mapping.Fragment.table;
+      sexp_of_cond f.Mapping.Fragment.store_cond;
+    ]
+
+let fragment_of_sexp s =
+  let* args = Sexp.as_field "frag" s in
+  match args with
+  | [ source; ccond; pairs; table; scond ] ->
+      let* client_source =
+        match source with
+        | Sexp.List [ Sexp.Atom "set"; s ] ->
+            Result.map (fun s -> Mapping.Fragment.Set s) (Sexp.as_atom s)
+        | Sexp.List [ Sexp.Atom "assoc"; a ] ->
+            Result.map (fun a -> Mapping.Fragment.Assoc a) (Sexp.as_atom a)
+        | s -> fail "bad fragment source %s" (Sexp.to_string s)
+      in
+      let* client_cond = cond_of_sexp ccond in
+      let* pairs =
+        Result.bind (Sexp.as_list pairs)
+          (map_ok (function
+            | Sexp.List [ a; c ] ->
+                let* a = Sexp.as_atom a in
+                let* c = Sexp.as_atom c in
+                Ok (a, c)
+            | s -> fail "bad pair %s" (Sexp.to_string s)))
+      in
+      let* table = Sexp.as_atom table in
+      let* store_cond = cond_of_sexp scond in
+      Ok { Mapping.Fragment.client_source; client_cond; pairs; table; store_cond }
+  | _ -> fail "bad fragment %s" (Sexp.to_string s)
+
+(* -- the whole state -------------------------------------------------------------------- *)
+
+let save (st : Core.State.t) =
+  let qv = st.Core.State.query_views in
+  let doc =
+    Sexp.field "state"
+      [
+        sexp_of_client st.Core.State.env.Query.Env.client;
+        sexp_of_store st.Core.State.env.Query.Env.store;
+        Sexp.field "fragments"
+          (List.map sexp_of_fragment (Mapping.Fragments.to_list st.Core.State.fragments));
+        Sexp.field "query_views"
+          (List.map
+             (fun (ty, v) -> Sexp.field "for_entity" [ Sexp.string ty; sexp_of_view v ])
+             (Query.View.entity_view_bindings qv)
+          @ List.map
+              (fun (a, v) -> Sexp.field "for_assoc" [ Sexp.string a; sexp_of_view v ])
+              (Query.View.assoc_view_bindings qv));
+        Sexp.field "update_views"
+          (List.map
+             (fun (t, v) -> Sexp.field "for_table" [ Sexp.string t; sexp_of_view v ])
+             (Query.View.update_view_bindings st.Core.State.update_views));
+      ]
+  in
+  Sexp.to_string_hum doc ^ "\n"
+
+let load text =
+  let* doc = Sexp.of_string text in
+  let* fields = Sexp.as_field "state" doc in
+  match fields with
+  | [ client_s; store_s; frags_s; qv_s; uv_s ] ->
+      let* client = client_of_sexp client_s in
+      let* store = store_of_sexp store_s in
+      let* frag_list = Sexp.as_field "fragments" frags_s in
+      let* frags = map_ok fragment_of_sexp frag_list in
+      let* qv_fields = Sexp.as_field "query_views" qv_s in
+      let* query_views =
+        List.fold_left
+          (fun acc f ->
+            let* qv = acc in
+            match f with
+            | Sexp.List [ Sexp.Atom "for_entity"; ty; v ] ->
+                let* ty = Sexp.as_atom ty in
+                let* v = view_of_sexp v in
+                Ok (Query.View.set_entity_view ty v qv)
+            | Sexp.List [ Sexp.Atom "for_assoc"; a; v ] ->
+                let* a = Sexp.as_atom a in
+                let* v = view_of_sexp v in
+                Ok (Query.View.set_assoc_view a v qv)
+            | s -> fail "bad query-view entry %s" (Sexp.to_string s))
+          (Ok Query.View.no_query_views) qv_fields
+      in
+      let* uv_fields = Sexp.as_field "update_views" uv_s in
+      let* update_views =
+        List.fold_left
+          (fun acc f ->
+            let* uv = acc in
+            match f with
+            | Sexp.List [ Sexp.Atom "for_table"; t; v ] ->
+                let* t = Sexp.as_atom t in
+                let* v = view_of_sexp v in
+                Ok (Query.View.set_table_view t v uv)
+            | s -> fail "bad update-view entry %s" (Sexp.to_string s))
+          (Ok Query.View.no_update_views) uv_fields
+      in
+      Ok
+        {
+          Core.State.env = Query.Env.make ~client ~store;
+          fragments = Mapping.Fragments.of_list frags;
+          query_views;
+          update_views;
+        }
+  | _ -> fail "bad state document"

@@ -1,0 +1,21 @@
+(** Persistence for compiled states.
+
+    The paper's standalone compiler reads the pre-evolved model and its
+    Entity SQL query/update views from the file EF generated, and writes the
+    evolved views back (Section 4.1, Fig. 7).  [State_io] plays that role
+    here: a compiled {!Core.State.t} — schemas, fragments, and both view
+    sets — serializes to an s-expression document and loads back losslessly
+    (a tested roundtrip), so an incremental session can resume without
+    re-running the full compiler. *)
+
+val save : Core.State.t -> string
+val load : string -> (Core.State.t, string) result
+
+(** Individual codecs, exposed for tests. *)
+
+val sexp_of_cond : Query.Cond.t -> Sexp.t
+val cond_of_sexp : Sexp.t -> (Query.Cond.t, string) result
+val sexp_of_query : Query.Algebra.t -> Sexp.t
+val query_of_sexp : Sexp.t -> (Query.Algebra.t, string) result
+val sexp_of_view : Query.View.t -> Sexp.t
+val view_of_sexp : Sexp.t -> (Query.View.t, string) result

@@ -1,0 +1,1 @@
+lib/workload/chain.pp.ml: Core Datum Edm List Mapping Printf Query Relational

@@ -1,0 +1,1 @@
+lib/workload/chain.pp.mli: Core Mapping Query

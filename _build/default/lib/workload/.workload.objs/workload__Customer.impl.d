@@ -1,0 +1,1 @@
+lib/workload/customer.pp.ml: Core Datum Edm Fun List Mapping Printf Query Relational

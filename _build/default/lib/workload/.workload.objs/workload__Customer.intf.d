@@ -1,0 +1,1 @@
+lib/workload/customer.pp.mli: Core Mapping Query

@@ -1,0 +1,1 @@
+lib/workload/hub_rim.pp.ml: Datum Edm Fun List Mapping Option Printf Query Relational

@@ -1,0 +1,1 @@
+lib/workload/hub_rim.pp.mli: Mapping Query

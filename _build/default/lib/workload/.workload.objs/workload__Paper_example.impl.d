@@ -1,0 +1,1 @@
+lib/workload/paper_example.pp.ml: Datum Edm Mapping Query Relational

@@ -1,0 +1,1 @@
+lib/workload/paper_example.pp.mli: Edm Mapping Query Relational

@@ -1,0 +1,1 @@
+lib/workload/random_model.pp.ml: Datum Edm Fun Hashtbl List Mapping Printf Query Random Relational String

@@ -1,0 +1,1 @@
+lib/workload/random_model.pp.mli: Mapping Query

@@ -1,0 +1,23 @@
+(** A synthetic stand-in for the paper's real customer model (Section 4.2):
+    230 entity types in 18 non-trivial hierarchies — deepest 4 levels,
+    largest 95 types — mapped TPT or TPH, with associations mapped to
+    non-junction tables.  A full Entity Framework compilation of the real
+    model takes 8 hours; Fig. 10 reports the incremental SMO times.
+
+    Substitution note (see DESIGN.md): the model is synthesized
+    deterministically from the published statistics.  The TPH hierarchies
+    are capped at {!tph_cap} types so that the full-compilation baseline
+    (whose cell enumeration is exponential in the TPH type count) finishes
+    in tens of seconds on a laptop rather than hours; the incremental /
+    full contrast — the figure's point — is preserved. *)
+
+val tph_cap : int
+
+val generate : unit -> Query.Env.t * Mapping.Fragments.t
+
+val stats : unit -> string
+(** A one-line summary: type count, hierarchy count, largest and deepest
+    hierarchy, association count. *)
+
+val smo_suite : unit -> (string * Core.Smo.t) list
+(** The Fig. 10 primitives over this model, labelled as in the figure. *)

@@ -1,0 +1,20 @@
+(** The "hub and rim" model of Fig. 3: [n] hub entity types in a linear
+    inheritance chain, each connected by associations to [m] distinct rim
+    types (which derive from their hub), for [n + n·m] entity types total.
+
+    Under [`Tph] the whole hierarchy maps into one table with a
+    discriminator column and one foreign-key column per association — the
+    configuration whose full compilation blows up past [n + n·m ≈ 32]
+    (Fig. 4).  Under [`Tpt] every type maps to its own table and full
+    compilation stays under a fraction of a second (the contrast the paper
+    reports in Section 1.1). *)
+
+val generate : n:int -> m:int -> style:[ `Tph | `Tpt ] -> Query.Env.t * Mapping.Fragments.t
+
+val type_count : n:int -> m:int -> int
+(** [n + n*m]. *)
+
+val atom_count : n:int -> m:int -> int
+(** Store-side condition atoms landing on the TPH table: one discriminator
+    equality per type plus one NOT NULL per association — the exponent of
+    the full compiler's cell enumeration. *)

@@ -1,0 +1,149 @@
+module D = Datum.Domain
+module V = Datum.Value
+module C = Query.Cond
+
+type stage = { env : Query.Env.t; fragments : Mapping.Fragments.t }
+
+let ok = function Ok x -> x | Error e -> invalid_arg ("Paper_example: " ^ e)
+
+(* -- client schemas ------------------------------------------------------ *)
+
+let person = Edm.Entity_type.root ~name:"Person" ~key:[ "Id" ] [ ("Id", D.Int); ("Name", D.String) ]
+let employee = Edm.Entity_type.derived ~name:"Employee" ~parent:"Person" [ ("Department", D.String) ]
+
+let customer =
+  Edm.Entity_type.derived ~name:"Customer" ~parent:"Person"
+    [ ("CredScore", D.Int); ("BillAddr", D.String) ]
+
+let supports =
+  {
+    Edm.Association.name = "Supports";
+    end1 = "Customer";
+    end2 = "Employee";
+    mult1 = Edm.Association.Many;
+    mult2 = Edm.Association.Zero_or_one;
+  }
+
+let client1 = ok (Edm.Schema.add_root ~set:"Persons" person Edm.Schema.empty)
+let client2 = ok (Edm.Schema.add_derived employee client1)
+let client3 = ok (Edm.Schema.add_derived customer client2)
+let client4 = ok (Edm.Schema.add_association supports client3)
+
+(* -- store schemas ------------------------------------------------------- *)
+
+let hr = Relational.Table.make ~name:"HR" ~key:[ "Id" ] [ ("Id", D.Int, `Not_null); ("Name", D.String, `Null) ]
+
+let emp =
+  Relational.Table.make ~name:"Emp" ~key:[ "Id" ]
+    ~fks:[ { Relational.Table.fk_columns = [ "Id" ]; ref_table = "HR"; ref_columns = [ "Id" ] } ]
+    [ ("Id", D.Int, `Not_null); ("Dept", D.String, `Null) ]
+
+let client_table =
+  Relational.Table.make ~name:"Client" ~key:[ "Cid" ]
+    ~fks:[ { Relational.Table.fk_columns = [ "Eid" ]; ref_table = "Emp"; ref_columns = [ "Id" ] } ]
+    [
+      ("Cid", D.Int, `Not_null);
+      ("Eid", D.Int, `Null);
+      ("Name", D.String, `Null);
+      ("Score", D.Int, `Null);
+      ("Addr", D.String, `Null);
+    ]
+
+let store1 = ok (Relational.Schema.add_table hr Relational.Schema.empty)
+let store2 = ok (Relational.Schema.add_table emp store1)
+let store3 = ok (Relational.Schema.add_table client_table store2)
+let store4 = store3
+
+(* -- fragments ----------------------------------------------------------- *)
+
+let phi1 =
+  Mapping.Fragment.entity ~set:"Persons" ~cond:(C.Is_of "Person") ~table:"HR"
+    [ ("Id", "Id"); ("Name", "Name") ]
+
+let phi1' =
+  Mapping.Fragment.entity ~set:"Persons"
+    ~cond:(C.Or (C.Is_of_only "Person", C.Is_of "Employee"))
+    ~table:"HR"
+    [ ("Id", "Id"); ("Name", "Name") ]
+
+let phi2 =
+  Mapping.Fragment.entity ~set:"Persons" ~cond:(C.Is_of "Employee") ~table:"Emp"
+    [ ("Id", "Id"); ("Department", "Dept") ]
+
+let phi3 =
+  Mapping.Fragment.entity ~set:"Persons" ~cond:(C.Is_of "Customer") ~table:"Client"
+    [ ("Id", "Cid"); ("Name", "Name"); ("CredScore", "Score"); ("BillAddr", "Addr") ]
+
+let phi4 =
+  Mapping.Fragment.assoc ~assoc:"Supports" ~table:"Client"
+    ~store_cond:(C.Is_not_null "Eid")
+    [ ("Customer.Id", "Cid"); ("Employee.Id", "Eid") ]
+
+let stage1 =
+  { env = Query.Env.make ~client:client1 ~store:store1;
+    fragments = Mapping.Fragments.of_list [ phi1 ] }
+
+let stage2 =
+  { env = Query.Env.make ~client:client2 ~store:store2;
+    fragments = Mapping.Fragments.of_list [ phi1; phi2 ] }
+
+let stage3 =
+  { env = Query.Env.make ~client:client3 ~store:store3;
+    fragments = Mapping.Fragments.of_list [ phi1'; phi2; phi3 ] }
+
+let stage4 =
+  { env = Query.Env.make ~client:client4 ~store:store4;
+    fragments = Mapping.Fragments.of_list [ phi1'; phi2; phi3; phi4 ] }
+
+(* -- instances ----------------------------------------------------------- *)
+
+let e = Edm.Instance.entity
+
+let sample_client =
+  Edm.Instance.empty
+  |> Edm.Instance.add_entity ~set:"Persons"
+       (e ~etype:"Person" [ ("Id", V.Int 1); ("Name", V.String "Ana") ])
+  |> Edm.Instance.add_entity ~set:"Persons"
+       (e ~etype:"Person" [ ("Id", V.Int 2); ("Name", V.String "Bob") ])
+  |> Edm.Instance.add_entity ~set:"Persons"
+       (e ~etype:"Employee"
+          [ ("Id", V.Int 3); ("Name", V.String "Cyd"); ("Department", V.String "Sales") ])
+  |> Edm.Instance.add_entity ~set:"Persons"
+       (e ~etype:"Employee"
+          [ ("Id", V.Int 4); ("Name", V.String "Dan"); ("Department", V.String "Support") ])
+  |> Edm.Instance.add_entity ~set:"Persons"
+       (e ~etype:"Customer"
+          [ ("Id", V.Int 5); ("Name", V.String "Eve"); ("CredScore", V.Int 700);
+            ("BillAddr", V.String "1 Oak St") ])
+  |> Edm.Instance.add_entity ~set:"Persons"
+       (e ~etype:"Customer"
+          [ ("Id", V.Int 6); ("Name", V.String "Fay"); ("CredScore", V.Int 640);
+            ("BillAddr", V.String "2 Elm St") ])
+  |> Edm.Instance.add_link ~assoc:"Supports"
+       (Datum.Row.of_list [ ("Customer.Id", V.Int 5); ("Employee.Id", V.Int 4) ])
+
+let row = Datum.Row.of_list
+
+let sample_store =
+  Relational.Instance.empty
+  |> Relational.Instance.set_rows ~table:"HR"
+       [
+         row [ ("Id", V.Int 1); ("Name", V.String "Ana") ];
+         row [ ("Id", V.Int 2); ("Name", V.String "Bob") ];
+         row [ ("Id", V.Int 3); ("Name", V.String "Cyd") ];
+         row [ ("Id", V.Int 4); ("Name", V.String "Dan") ];
+       ]
+  |> Relational.Instance.set_rows ~table:"Emp"
+       [
+         row [ ("Id", V.Int 3); ("Dept", V.String "Sales") ];
+         row [ ("Id", V.Int 4); ("Dept", V.String "Support") ];
+       ]
+  |> Relational.Instance.set_rows ~table:"Client"
+       [
+         row
+           [ ("Cid", V.Int 5); ("Eid", V.Int 4); ("Name", V.String "Eve"); ("Score", V.Int 700);
+             ("Addr", V.String "1 Oak St") ];
+         row
+           [ ("Cid", V.Int 6); ("Eid", V.Null); ("Name", V.String "Fay"); ("Score", V.Int 640);
+             ("Addr", V.String "2 Elm St") ];
+       ]

@@ -1,0 +1,209 @@
+module D = Datum.Domain
+module C = Query.Cond
+module F = Mapping.Fragment
+
+type profile = {
+  hierarchies : int;
+  max_types : int;
+  max_depth : int;
+  max_attrs : int;
+  assocs : int;
+}
+
+let default_profile = { hierarchies = 3; max_types = 5; max_depth = 3; max_attrs = 2; assocs = 2 }
+
+let ok = function Ok x -> x | Error e -> invalid_arg ("Workload.Random_model: " ^ e)
+
+let style_of ~seed ~hierarchy =
+  match (seed * 31 + (hierarchy * 7)) mod 3 with
+  | 0 -> `Tpt
+  | 1 -> `Tpc
+  | _ -> `Tph
+
+let ty h i = Printf.sprintf "H%dT%d" h i
+let set_name h = Printf.sprintf "HSet%d" h
+let table_name h i = Printf.sprintf "T_H%dT%d" h i
+let tph_table h = Printf.sprintf "T_H%d" h
+
+let random_domain rng =
+  match Random.State.int rng 5 with
+  | 0 -> D.Int
+  | 1 -> D.String
+  | 2 -> D.Bool
+  | 3 -> D.Decimal
+  | _ -> D.Enum [ "red"; "green"; "blue" ]
+
+let generate ?(profile = default_profile) ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let attr_counter = ref 0 in
+  let fresh_attrs rng h n =
+    List.init n (fun _ ->
+        incr attr_counter;
+        (Printf.sprintf "A%d_%d" h !attr_counter, random_domain rng))
+  in
+  (* -- hierarchies -------------------------------------------------------- *)
+  let hier_sizes =
+    List.init profile.hierarchies (fun _ -> 1 + Random.State.int rng profile.max_types)
+  in
+  let client = ref Edm.Schema.empty in
+  let parents = Hashtbl.create 16 in
+  List.iteri
+    (fun h size ->
+      let root_attrs = ("Id", D.Int) :: fresh_attrs rng h (1 + Random.State.int rng profile.max_attrs) in
+      client :=
+        ok
+          (Edm.Schema.add_root ~set:(set_name h)
+             (Edm.Entity_type.root ~name:(ty h 0) ~key:[ "Id" ] root_attrs)
+             !client);
+      for i = 1 to size - 1 do
+        (* A random parent whose depth leaves room under the cap. *)
+        let candidates =
+          List.filter
+            (fun j ->
+              List.length (Edm.Schema.ancestors !client (ty h j)) + 1 < profile.max_depth)
+            (List.init i Fun.id)
+        in
+        let parent =
+          match candidates with
+          | [] -> 0
+          | l -> List.nth l (Random.State.int rng (List.length l))
+        in
+        Hashtbl.replace parents (ty h i) (ty h parent);
+        client :=
+          ok
+            (Edm.Schema.add_derived
+               (Edm.Entity_type.derived ~name:(ty h i) ~parent:(ty h parent)
+                  (fresh_attrs rng h (Random.State.int rng (profile.max_attrs + 1))))
+               !client)
+      done)
+    hier_sizes;
+  (* -- associations between distinct non-TPC roots ------------------------- *)
+  let anchor_hs =
+    List.concat
+      (List.mapi
+         (fun h _ -> if style_of ~seed ~hierarchy:h <> `Tpc then [ h ] else [])
+         hier_sizes)
+  in
+  let assocs =
+    if List.length anchor_hs = 0 || profile.hierarchies < 2 then []
+    else
+      List.init profile.assocs (fun k ->
+          let h1 = List.nth anchor_hs (Random.State.int rng (List.length anchor_hs)) in
+          let rec pick () =
+            let h2 = Random.State.int rng profile.hierarchies in
+            if h2 = h1 then pick () else h2
+          in
+          let h2 = pick () in
+          (Printf.sprintf "Rel%d" k, h1, h2, Printf.sprintf "Fk%d" k))
+  in
+  List.iter
+    (fun (name, h1, h2, _col) ->
+      client :=
+        ok
+          (Edm.Schema.add_association
+             { Edm.Association.name; end1 = ty h1 0; end2 = ty h2 0;
+               mult1 = Edm.Association.Many; mult2 = Edm.Association.Zero_or_one }
+             !client))
+    assocs;
+  let client = !client in
+  (* -- store and fragments, per style -------------------------------------- *)
+  let store = ref Relational.Schema.empty in
+  let frags = ref [] in
+  let add_table t = store := ok (Relational.Schema.add_table t !store) in
+  let key_table_of = Hashtbl.create 8 in
+  List.iteri
+    (fun h size ->
+      match style_of ~seed ~hierarchy:h with
+      | `Tpt ->
+          Hashtbl.replace key_table_of h (table_name h 0);
+          for i = 0 to size - 1 do
+            let own =
+              match Edm.Schema.find_type client (ty h i) with
+              | Some e -> e.Edm.Entity_type.declared
+              | None -> []
+            in
+            let cols =
+              ("Id", D.Int, `Not_null)
+              :: List.filter_map
+                   (fun (a, d) -> if a = "Id" then None else Some (a, d, `Null))
+                   own
+            in
+            let fks =
+              if i = 0 then []
+              else
+                let p = Hashtbl.find parents (ty h i) in
+                let pi = int_of_string (String.sub p (String.index p 'T' + 1)
+                                          (String.length p - String.index p 'T' - 1)) in
+                [ { Relational.Table.fk_columns = [ "Id" ]; ref_table = table_name h pi;
+                    ref_columns = [ "Id" ] } ]
+            in
+            add_table (Relational.Table.make ~name:(table_name h i) ~key:[ "Id" ] ~fks cols);
+            let projected = "Id" :: List.filter_map (fun (a, _) -> if a = "Id" then None else Some a) own in
+            frags :=
+              F.entity ~set:(set_name h) ~cond:(C.Is_of (ty h i)) ~table:(table_name h i)
+                (List.map (fun a -> (a, a)) projected)
+              :: !frags
+          done
+      | `Tpc ->
+          Hashtbl.replace key_table_of h (table_name h 0);
+          for i = 0 to size - 1 do
+            let att = Edm.Schema.attributes client (ty h i) in
+            let cols =
+              List.map
+                (fun (a, d) -> (a, d, if a = "Id" then `Not_null else `Null))
+                att
+            in
+            add_table (Relational.Table.make ~name:(table_name h i) ~key:[ "Id" ] cols);
+            frags :=
+              F.entity ~set:(set_name h) ~cond:(C.Is_of_only (ty h i)) ~table:(table_name h i)
+                (List.map (fun (a, _) -> (a, a)) att)
+              :: !frags
+          done
+      | `Tph ->
+          Hashtbl.replace key_table_of h (tph_table h);
+          let all_attrs =
+            List.concat_map
+              (fun i ->
+                match Edm.Schema.find_type client (ty h i) with
+                | Some e -> e.Edm.Entity_type.declared
+                | None -> [])
+              (List.init size Fun.id)
+          in
+          let cols =
+            ("Id", D.Int, `Not_null) :: ("Disc", D.String, `Null)
+            :: List.filter_map (fun (a, d) -> if a = "Id" then None else Some (a, d, `Null)) all_attrs
+          in
+          add_table (Relational.Table.make ~name:(tph_table h) ~key:[ "Id" ] cols);
+          for i = 0 to size - 1 do
+            let att = Edm.Schema.attribute_names client (ty h i) in
+            frags :=
+              F.entity ~set:(set_name h) ~cond:(C.Is_of_only (ty h i)) ~table:(tph_table h)
+                ~store_cond:(C.Cmp ("Disc", C.Eq, Datum.Value.String (ty h i)))
+                (List.map (fun a -> (a, a)) att)
+              :: !frags
+          done)
+    hier_sizes;
+  (* Association columns on the anchor hierarchy's key table, with a foreign
+     key when the target's key table holds every target entity (non-TPC). *)
+  List.iter
+    (fun (name, h1, h2, col) ->
+      let tname = Hashtbl.find key_table_of h1 in
+      let tbl = Relational.Schema.get_table !store tname in
+      let tbl =
+        Relational.Table.add_column tbl
+          { Relational.Table.cname = col; domain = D.Int; nullable = true }
+      in
+      let tbl =
+        if style_of ~seed ~hierarchy:h2 <> `Tpc then
+          Relational.Table.add_fk tbl
+            { Relational.Table.fk_columns = [ col ]; ref_table = Hashtbl.find key_table_of h2;
+              ref_columns = [ "Id" ] }
+        else tbl
+      in
+      store := ok (Relational.Schema.replace_table tbl !store);
+      frags :=
+        F.assoc ~assoc:name ~table:tname ~store_cond:(C.Is_not_null col)
+          [ (ty h1 0 ^ ".Id", "Id"); (ty h2 0 ^ ".Id", col) ]
+        :: !frags)
+    assocs;
+  (Query.Env.make ~client ~store:!store, Mapping.Fragments.of_list (List.rev !frags))

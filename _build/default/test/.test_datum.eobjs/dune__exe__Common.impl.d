@@ -1,0 +1,1 @@
+test/common.ml: Alcotest Datum Edm Format List QCheck QCheck_alcotest Query String Workload

@@ -1,0 +1,1 @@
+test/test_composite.ml: Alcotest C Common Core D Dml Edm Fullc List Mapping Query Relational Roundtrip V

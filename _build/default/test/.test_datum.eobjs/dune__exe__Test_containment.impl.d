@@ -1,0 +1,1 @@
+test/test_containment.ml: A Alcotest C Common Containment Edm List QCheck Query V Workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest C Common Core D Datum Edm Fullc Lazy List Mapping Option QCheck Query Relational Result String V Workload

@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest C Common D Datum Edm List QCheck Query V

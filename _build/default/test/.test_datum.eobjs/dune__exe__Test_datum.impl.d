@@ -1,0 +1,1 @@
+test/test_datum.ml: Alcotest Common D Datum List QCheck V

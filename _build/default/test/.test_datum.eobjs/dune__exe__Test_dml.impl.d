@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Common Datum Dml Edm Format Fullc Lazy List QCheck Query Relational Result V Workload

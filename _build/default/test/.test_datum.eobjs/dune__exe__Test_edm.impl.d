@@ -1,0 +1,1 @@
+test/test_edm.ml: Alcotest Common D Edm List Option QCheck Query Result V Workload

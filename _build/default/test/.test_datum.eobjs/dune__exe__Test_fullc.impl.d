@@ -1,0 +1,1 @@
+test/test_fullc.ml: Alcotest C Common D Edm Fullc Lazy List Mapping Printf QCheck Query Relational Result V Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest C Common Containment Core D Datum Edm Fullc Lazy List Option QCheck Query Relational Roundtrip String V Workload

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest C Common Datum Edm List Mapping Query Relational V Workload

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest C Common Core D Edm Fullc Fun List Mapping Option Query Relational Result Roundtrip V Workload

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest C Common Containment Core D Edm Fullc Lazy List Mapping Option Printf Query Relational Unix V Workload

@@ -1,0 +1,1 @@
+test/test_query.ml: A Alcotest C Common Datum Edm List Option QCheck Query Relational Result String V Workload

@@ -1,0 +1,1 @@
+test/test_random_models.ml: Alcotest Common Core D Edm Fullc Lazy List Mapping Modef Printf Query Relational Result Roundtrip Surface Workload

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Common D List Query Relational Result V Workload

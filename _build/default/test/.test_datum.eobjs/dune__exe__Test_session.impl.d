@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Common Core D Datum Dml Edm List Option Query Relational Result Surface Workload

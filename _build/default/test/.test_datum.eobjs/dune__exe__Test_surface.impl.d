@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest Common Core D Edm Fullc List Mapping Modef QCheck Query Relational Result Roundtrip Surface V Workload

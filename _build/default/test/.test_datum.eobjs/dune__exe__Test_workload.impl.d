@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Common Core D Edm Fullc Lazy List Mapping Modef Query Relational Result Roundtrip String Workload

@@ -1,0 +1,149 @@
+(* The closed-form coverage reasoner of Section 3.3 (Query.Cover), tested
+   over its full decision surface: intervals, enum domains, nullability,
+   type-atom resolution, and the soundness property against brute-force
+   evaluation. *)
+
+open Common
+
+let schema =
+  let s =
+    ok_exn
+      (Edm.Schema.add_root ~set:"People"
+         (Edm.Entity_type.root ~name:"Human" ~key:[ "Hid" ]
+            ~non_null:[ "Age"; "Gender" ]
+            [ ("Hid", D.Int); ("Age", D.Int); ("Gender", D.Enum [ "M"; "F" ]);
+              ("Note", D.String) ])
+         Edm.Schema.empty)
+  in
+  ok_exn
+    (Edm.Schema.add_derived
+       (Edm.Entity_type.derived ~name:"Adulterer" ~parent:"Human" [ ("Extra", D.Int) ])
+       s)
+
+let taut c = Query.Cover.tautology schema ~etype:"Human" c
+let sat c = Query.Cover.satisfiable schema ~etype:"Human" c
+let implies a b = Query.Cover.implies schema ~etype:"Human" a b
+
+let ge n = C.Cmp ("Age", C.Ge, V.Int n)
+let lt n = C.Cmp ("Age", C.Lt, V.Int n)
+let gt n = C.Cmp ("Age", C.Gt, V.Int n)
+let le n = C.Cmp ("Age", C.Le, V.Int n)
+let eqs a v = C.Cmp (a, C.Eq, V.String v)
+
+let test_interval_tautologies () =
+  checkb "age >= 18 or age < 18" true (taut (C.Or (ge 18, lt 18)));
+  checkb "age >= 18 or age < 17 leaves a gap" false (taut (C.Or (ge 18, lt 17)));
+  checkb "age > 17 or age <= 17" true (taut (C.Or (gt 17, le 17)));
+  checkb "integer rounding: > 17 or < 18" true (taut (C.Or (gt 17, lt 18)));
+  checkb "three-way split" true (taut (C.disj [ lt 10; C.And (ge 10, lt 20); ge 20 ]));
+  checkb "three-way split with a hole" false
+    (taut (C.disj [ lt 10; C.And (ge 11, lt 20); ge 20 ]))
+
+let test_enum_tautologies () =
+  checkb "closed domain M or F" true (taut (C.Or (eqs "Gender" "M", eqs "Gender" "F")));
+  checkb "M alone does not cover" false (taut (eqs "Gender" "M"));
+  checkb "open string domain never covers by enumeration" false
+    (taut (C.Or (eqs "Note" "a", eqs "Note" "b")))
+
+let test_nullability () =
+  (* Note is nullable: conditions over it can't be tautologies without a
+     null test... *)
+  checkb "null escapes comparisons" false
+    (taut (C.Or (C.Cmp ("Note", C.Eq, V.String "x"), C.Cmp ("Note", C.Neq, V.String "x"))));
+  checkb "null test completes the cover" true
+    (taut
+       (C.disj
+          [ C.Is_null "Note"; C.Cmp ("Note", C.Eq, V.String "x");
+            C.Cmp ("Note", C.Neq, V.String "x") ]));
+  (* Age is declared non-null, so its comparisons do cover. *)
+  checkb "non-null attribute covers" true (taut (C.Or (ge 0, lt 0)));
+  (* Keys are implicitly non-null. *)
+  checkb "key attribute covers" true
+    (taut (C.Or (C.Cmp ("Hid", C.Ge, V.Int 0), C.Cmp ("Hid", C.Lt, V.Int 0))))
+
+let test_type_atoms () =
+  checkb "IS OF Human resolves true for Human" true (taut (C.Is_of "Human"));
+  checkb "IS OF ONLY Human true for exact Human" true (taut (C.Is_of_only "Human"));
+  checkb "IS OF ONLY Human false for Adulterer" false
+    (Query.Cover.tautology schema ~etype:"Adulterer" (C.Is_of_only "Human"));
+  checkb "IS OF Human true for the subtype" true
+    (Query.Cover.tautology schema ~etype:"Adulterer" (C.Is_of "Human"));
+  checkb "subtype atom unsatisfiable at the root" false (sat (C.Is_of "Adulterer"))
+
+let test_satisfiable () =
+  checkb "empty interval" false (sat (C.And (ge 10, lt 5)));
+  checkb "point interval" true (sat (C.And (ge 10, le 10)));
+  checkb "enum excluded values" false
+    (sat (C.And (eqs "Gender" "M", eqs "Gender" "F")));
+  checkb "false" false (sat C.False)
+
+let test_implies () =
+  checkb "tighter bound implies looser" true (implies (ge 18) (ge 10));
+  checkb "looser does not imply tighter" false (implies (ge 10) (ge 18));
+  checkb "equality implies inequality" true
+    (implies (C.Cmp ("Age", C.Eq, V.Int 5)) (C.Cmp ("Age", C.Neq, V.Int 7)));
+  checkb "conjunct implies disjunct" true (implies (C.And (ge 10, lt 20)) (C.Or (ge 10, ge 30)));
+  checkb "enum case implication" true
+    (implies (eqs "Gender" "M") (C.Or (eqs "Gender" "M", eqs "Gender" "F")))
+
+(* Soundness against brute force: for conditions over Age (non-null int) and
+   Gender, [tautology] agrees with evaluating over a wide concrete sweep. *)
+let prop_taut_sound =
+  qtest "tautology agrees with brute-force sweeps" ~count:200
+    (QCheck.make
+       ~print:C.show
+       QCheck.Gen.(
+         let atom =
+           oneof
+             [
+               (let* n = int_range 0 10 in
+                let* op = oneofl [ C.Eq; C.Neq; C.Lt; C.Le; C.Gt; C.Ge ] in
+                return (C.Cmp ("Age", op, V.Int n)));
+               (let* g = oneofl [ "M"; "F" ] in
+                return (eqs "Gender" g));
+             ]
+         in
+         sized (fun n ->
+             fix
+               (fun self n ->
+                 if n <= 1 then atom
+                 else
+                   frequency
+                     [ (1, atom);
+                       (2, map2 (fun a b -> C.And (a, b)) (self (n / 2)) (self (n / 2)));
+                       (2, map2 (fun a b -> C.Or (a, b)) (self (n / 2)) (self (n / 2))) ])
+               (min n 6))))
+    (fun c ->
+      let brute =
+        List.for_all
+          (fun age ->
+            List.for_all
+              (fun g ->
+                let row =
+                  Datum.Row.of_list
+                    [ ("$type", V.String "Human"); ("Hid", V.Int 1); ("Age", V.Int age);
+                      ("Gender", V.String g); ("Note", V.Null) ]
+                in
+                C.eval schema row c)
+              [ "M"; "F" ])
+          (List.init 31 (fun i -> i - 10))
+      in
+      taut c = brute)
+
+let () =
+  Alcotest.run "cover"
+    [
+      ( "tautology",
+        [
+          Alcotest.test_case "intervals" `Quick test_interval_tautologies;
+          Alcotest.test_case "enums" `Quick test_enum_tautologies;
+          Alcotest.test_case "nullability" `Quick test_nullability;
+          Alcotest.test_case "type atoms" `Quick test_type_atoms;
+        ] );
+      ( "satisfiable / implies",
+        [
+          Alcotest.test_case "satisfiable" `Quick test_satisfiable;
+          Alcotest.test_case "implies" `Quick test_implies;
+        ] );
+      ("soundness", [ prop_taut_sound ]);
+    ]

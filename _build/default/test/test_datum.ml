@@ -1,0 +1,87 @@
+open Common
+
+let test_domain_subsumes () =
+  checkb "int subsumes int" true (D.subsumes ~wide:D.Int ~narrow:D.Int);
+  checkb "decimal subsumes int" true (D.subsumes ~wide:D.Decimal ~narrow:D.Int);
+  checkb "int does not subsume decimal" false (D.subsumes ~wide:D.Int ~narrow:D.Decimal);
+  checkb "string does not subsume int" false (D.subsumes ~wide:D.String ~narrow:D.Int)
+
+let test_value_member () =
+  checkb "null member of any domain" true (V.member V.Null D.Bool);
+  checkb "int member of int" true (V.member (V.Int 3) D.Int);
+  checkb "int member of decimal" true (V.member (V.Int 3) D.Decimal);
+  checkb "string not member of int" false (V.member (V.String "x") D.Int)
+
+let test_value_literals () =
+  check Alcotest.string "null" "NULL" (V.to_literal V.Null);
+  check Alcotest.string "string quoted" "'hi'" (V.to_literal (V.String "hi"));
+  check Alcotest.string "bool" "True" (V.to_literal (V.Bool true));
+  check Alcotest.string "int" "42" (V.to_literal (V.Int 42))
+
+let test_row_basics () =
+  let r = row [ ("b", V.Int 2); ("a", V.Int 1) ] in
+  check (Alcotest.list Alcotest.string) "sorted columns" [ "a"; "b" ] (Datum.Row.columns r);
+  checkb "mem" true (Datum.Row.mem "a" r);
+  checkb "find missing" true (Datum.Row.find "z" r = None);
+  check Alcotest.int "cardinal" 2 (Datum.Row.cardinal r);
+  let r2 = Datum.Row.remove "a" r in
+  checkb "removed" false (Datum.Row.mem "a" r2)
+
+let test_row_project_rename () =
+  let r = row [ ("a", V.Int 1); ("b", V.Int 2); ("c", V.Int 3) ] in
+  let p = Datum.Row.project [ "a"; "c"; "zz" ] r in
+  check (Alcotest.list Alcotest.string) "project drops absent" [ "a"; "c" ] (Datum.Row.columns p);
+  let rn = Datum.Row.rename [ ("a", "x"); ("b", "y") ] r in
+  checkb "renamed value" true (V.equal (Datum.Row.get "x" rn) (V.Int 1));
+  checkb "unlisted column dropped" false (Datum.Row.mem "c" rn)
+
+let test_row_union_bias () =
+  let a = row [ ("k", V.Int 1) ] and b = row [ ("k", V.Int 2); ("l", V.Int 3) ] in
+  let u = Datum.Row.union a b in
+  checkb "left wins" true (V.equal (Datum.Row.get "k" u) (V.Int 1));
+  checkb "right-only kept" true (V.equal (Datum.Row.get "l" u) (V.Int 3))
+
+let test_restrict_equal () =
+  let a = row [ ("k", V.Int 1); ("l", V.Int 9) ] and b = row [ ("k", V.Int 1); ("l", V.Int 8) ] in
+  checkb "equal on k" true (Datum.Row.restrict_equal [ "k" ] a b);
+  checkb "differs on l" false (Datum.Row.restrict_equal [ "k"; "l" ] a b);
+  checkb "one-sided column" false
+    (Datum.Row.restrict_equal [ "z" ] a (Datum.Row.add "z" V.Null b))
+
+let prop_row_roundtrip =
+  qtest "of_list/to_list roundtrip" ~count:100
+    QCheck.(list (pair (oneofl [ "a"; "b"; "c"; "d" ]) (map (fun i -> V.Int i) small_int)))
+    (fun bindings ->
+      let r = Datum.Row.of_list bindings in
+      Datum.Row.equal r (Datum.Row.of_list (Datum.Row.to_list r)))
+
+let prop_project_subset =
+  qtest "projection yields subset of columns" ~count:100
+    QCheck.(
+      pair
+        (list (pair (oneofl [ "a"; "b"; "c" ]) (map (fun i -> V.Int i) small_int)))
+        (list (oneofl [ "a"; "b"; "z" ])))
+    (fun (bindings, cols) ->
+      let r = Datum.Row.of_list bindings in
+      let p = Datum.Row.project cols r in
+      List.for_all (fun c -> List.mem c cols && Datum.Row.mem c r) (Datum.Row.columns p))
+
+let () =
+  Alcotest.run "datum"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "subsumes" `Quick test_domain_subsumes;
+          Alcotest.test_case "member" `Quick test_value_member;
+          Alcotest.test_case "literals" `Quick test_value_literals;
+        ] );
+      ( "row",
+        [
+          Alcotest.test_case "basics" `Quick test_row_basics;
+          Alcotest.test_case "project/rename" `Quick test_row_project_rename;
+          Alcotest.test_case "union bias" `Quick test_row_union_bias;
+          Alcotest.test_case "restrict_equal" `Quick test_restrict_equal;
+          prop_row_roundtrip;
+          prop_project_subset;
+        ] );
+    ]

@@ -1,0 +1,232 @@
+open Common
+module P = Workload.Paper_example
+module Delta = Dml.Delta
+module Tr = Dml.Translate
+
+let env = P.stage4.P.env
+let client = env.Query.Env.client
+
+let compiled =
+  lazy
+    (match Fullc.Compile.compile env P.stage4.P.fragments with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "compile failed: %s" e)
+
+let uv () = (Lazy.force compiled).Fullc.Compile.update_views
+let qv () = (Lazy.force compiled).Fullc.Compile.query_views
+
+(* -- delta semantics --------------------------------------------------------- *)
+
+let test_delta_insert_update_delete () =
+  let inst = P.sample_client in
+  let delta =
+    [
+      Delta.Insert_entity
+        { set = "Persons";
+          entity = Edm.Instance.entity ~etype:"Person" [ ("Id", V.Int 9); ("Name", V.String "Gil") ] };
+      Delta.Update_entity
+        { set = "Persons"; key = row [ ("Id", V.Int 1) ];
+          changes = [ ("Name", V.String "Anya") ] };
+      Delta.Delete_entity { set = "Persons"; key = row [ ("Id", V.Int 2) ] };
+    ]
+  in
+  let out = ok_exn (Delta.apply client inst delta) in
+  let persons = Edm.Instance.entities out ~set:"Persons" in
+  check Alcotest.int "count" 6 (List.length persons);
+  checkb "updated name" true
+    (List.exists
+       (fun (e : Edm.Instance.entity) ->
+         V.equal (Datum.Row.get "Id" e.attrs) (V.Int 1)
+         && V.equal (Datum.Row.get "Name" e.attrs) (V.String "Anya"))
+       persons)
+
+let test_delta_guards () =
+  let inst = P.sample_client in
+  let dup =
+    [ Delta.Insert_entity
+        { set = "Persons";
+          entity = Edm.Instance.entity ~etype:"Person" [ ("Id", V.Int 1); ("Name", V.String "x") ] } ]
+  in
+  check_error "duplicate key insert" (Result.map (fun _ -> ()) (Delta.apply client inst dup));
+  check_error "delete missing"
+    (Result.map (fun _ -> ())
+       (Delta.apply client inst [ Delta.Delete_entity { set = "Persons"; key = row [ ("Id", V.Int 77) ] } ]));
+  check_error "update key attribute"
+    (Result.map (fun _ -> ())
+       (Delta.apply client inst
+          [ Delta.Update_entity
+              { set = "Persons"; key = row [ ("Id", V.Int 1) ]; changes = [ ("Id", V.Int 2) ] } ]));
+  check_error "update unknown attribute"
+    (Result.map (fun _ -> ())
+       (Delta.apply client inst
+          [ Delta.Update_entity
+              { set = "Persons"; key = row [ ("Id", V.Int 1) ];
+                changes = [ ("Department", V.String "x") ] } ]));
+  (* Eve (5) is linked via Supports: deletion requires the link to go first. *)
+  check_error "delete linked entity"
+    (Result.map (fun _ -> ())
+       (Delta.apply client inst [ Delta.Delete_entity { set = "Persons"; key = row [ ("Id", V.Int 5) ] } ]));
+  let ok_seq =
+    [
+      Delta.Delete_link
+        { assoc = "Supports";
+          link = row [ ("Customer.Id", V.Int 5); ("Employee.Id", V.Int 4) ] };
+      Delta.Delete_entity { set = "Persons"; key = row [ ("Id", V.Int 5) ] };
+    ]
+  in
+  checkb "unlink then delete" true (Result.is_ok (Delta.apply client inst ok_seq))
+
+(* -- translation ---------------------------------------------------------------- *)
+
+let test_translate_simple () =
+  let delta =
+    [
+      Delta.Insert_entity
+        { set = "Persons";
+          entity =
+            Edm.Instance.entity ~etype:"Employee"
+              [ ("Id", V.Int 10); ("Name", V.String "Hal"); ("Department", V.String "IT") ] };
+      Delta.Update_entity
+        { set = "Persons"; key = row [ ("Id", V.Int 3) ];
+          changes = [ ("Department", V.String "Legal") ] };
+    ]
+  in
+  let script, _new_client, new_store =
+    ok_exn (Tr.translate env (uv ()) ~old_client:P.sample_client ~delta)
+  in
+  (* The TPT employee insert splits into HR + Emp inserts; the department
+     change touches Emp only. *)
+  let inserts = List.filter (function Tr.Insert_row _ -> true | _ -> false) script in
+  let updates = List.filter (function Tr.Update_row _ -> true | _ -> false) script in
+  check Alcotest.int "two inserts" 2 (List.length inserts);
+  check Alcotest.int "one update" 1 (List.length updates);
+  (match updates with
+  | [ Tr.Update_row { table; changes; _ } ] ->
+      check Alcotest.string "update hits Emp" "Emp" table;
+      check Alcotest.int "single column" 1 (List.length changes)
+  | _ -> Alcotest.fail "unexpected update shape");
+  (* HR insert precedes Emp insert (foreign-key order). *)
+  (match inserts with
+  | [ Tr.Insert_row { table = t1; _ }; Tr.Insert_row { table = t2; _ } ] ->
+      check Alcotest.string "parent first" "HR" t1;
+      check Alcotest.string "child second" "Emp" t2
+  | _ -> Alcotest.fail "unexpected insert shape");
+  (* Applying the script to the old store yields the new store. *)
+  let old_store = ok_exn (Query.View.apply_update_views env (uv ()) P.sample_client) in
+  let applied = ok_exn (Tr.apply_script old_store script) in
+  checkb "script reproduces the new store" true (Relational.Instance.equal applied new_store)
+
+let test_translate_link_ops () =
+  let delta =
+    [
+      Delta.Insert_link
+        { assoc = "Supports";
+          link = row [ ("Customer.Id", V.Int 6); ("Employee.Id", V.Int 3) ] };
+    ]
+  in
+  let script, _, _ = ok_exn (Tr.translate env (uv ()) ~old_client:P.sample_client ~delta) in
+  (* A foreign-key association insert becomes an UPDATE of the owning row. *)
+  match script with
+  | [ Tr.Update_row { table = "Client"; key; changes } ] ->
+      checkb "keyed by Cid" true (V.equal (Datum.Row.get "Cid" key) (V.Int 6));
+      checkb "sets Eid" true
+        (List.exists (fun (c, v) -> c = "Eid" && V.equal v (V.Int 3)) changes)
+  | _ -> Alcotest.failf "unexpected script:@.%a" Tr.pp_script script
+
+let test_sql_rendering () =
+  let script =
+    [
+      Tr.Insert_row { table = "HR"; row = row [ ("Id", V.Int 1); ("Name", V.String "x") ] };
+      Tr.Update_row { table = "Emp"; key = row [ ("Id", V.Int 1) ];
+                      changes = [ ("Dept", V.String "S") ] };
+      Tr.Delete_row { table = "HR"; key = row [ ("Id", V.Int 1) ] };
+    ]
+  in
+  let sql = Tr.to_sql script in
+  List.iter
+    (fun sub -> checkb sub true (contains ~sub sql))
+    [
+      "INSERT INTO HR (Id, Name) VALUES (1, 'x');";
+      "UPDATE Emp SET Dept = 'S' WHERE Id = 1;";
+      "DELETE FROM HR WHERE Id = 1;";
+    ]
+
+(* -- the "exactly the effect of U" property -------------------------------------- *)
+
+let gen_delta =
+  QCheck.Gen.(
+    let* kind = int_range 0 3 in
+    let* n = int_range 100 120 in
+    return
+      (match kind with
+      | 0 ->
+          [ Delta.Insert_entity
+              { set = "Persons";
+                entity =
+                  Edm.Instance.entity ~etype:"Person"
+                    [ ("Id", V.Int n); ("Name", V.String "new") ] } ]
+      | 1 ->
+          [ Delta.Insert_entity
+              { set = "Persons";
+                entity =
+                  Edm.Instance.entity ~etype:"Customer"
+                    [ ("Id", V.Int n); ("Name", V.String "c"); ("CredScore", V.Int 1);
+                      ("BillAddr", V.String "a") ] } ]
+      | 2 ->
+          [ Delta.Update_entity
+              { set = "Persons"; key = Datum.Row.of_list [ ("Id", V.Int 1) ];
+                changes = [ ("Name", V.String "renamed") ] } ]
+      | _ ->
+          [ Delta.Delete_link
+              { assoc = "Supports";
+                link =
+                  Datum.Row.of_list [ ("Customer.Id", V.Int 5); ("Employee.Id", V.Int 4) ] } ]))
+
+let prop_exact_effect =
+  qtest "translated DML has exactly the effect of U" ~count:100
+    (QCheck.make
+       ~print:(fun d -> Format.asprintf "%a" Delta.pp d)
+       gen_delta)
+    (fun delta ->
+      match Tr.translate env (uv ()) ~old_client:P.sample_client ~delta with
+      | Error _ -> true (* delta not applicable to the sample; fine *)
+      | Ok (script, new_client, new_store) -> (
+          let old_store = ok_exn (Query.View.apply_update_views env (uv ()) P.sample_client) in
+          let applied = ok_exn (Tr.apply_script old_store script) in
+          Relational.Instance.equal applied new_store
+          &&
+          (* Reading back gives exactly the updated client state. *)
+          match Query.View.apply_query_views env (qv ()) applied with
+          | Ok back -> Edm.Instance.equal back new_client
+          | Error e -> QCheck.Test.fail_reportf "pullback failed: %s" e))
+
+let test_store_integrity_after_dml () =
+  let delta =
+    [
+      Delta.Delete_link
+        { assoc = "Supports"; link = row [ ("Customer.Id", V.Int 5); ("Employee.Id", V.Int 4) ] };
+      Delta.Delete_entity { set = "Persons"; key = row [ ("Id", V.Int 5) ] };
+    ]
+  in
+  let script, _, new_store = ok_exn (Tr.translate env (uv ()) ~old_client:P.sample_client ~delta) in
+  checkb "deletes emitted" true
+    (List.exists (function Tr.Delete_row _ -> true | _ -> false) script);
+  check_ok "store constraints preserved" (Relational.Instance.conforms env.Query.Env.store new_store)
+
+let () =
+  Alcotest.run "dml"
+    [
+      ( "delta",
+        [
+          Alcotest.test_case "insert/update/delete" `Quick test_delta_insert_update_delete;
+          Alcotest.test_case "guards" `Quick test_delta_guards;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "entity ops" `Quick test_translate_simple;
+          Alcotest.test_case "association ops" `Quick test_translate_link_ops;
+          Alcotest.test_case "SQL rendering" `Quick test_sql_rendering;
+          Alcotest.test_case "integrity preserved" `Quick test_store_integrity_after_dml;
+          prop_exact_effect;
+        ] );
+    ]

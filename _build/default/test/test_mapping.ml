@@ -1,0 +1,143 @@
+open Common
+module P = Workload.Paper_example
+module F = Mapping.Fragment
+
+let env = P.stage4.P.env
+
+let test_fragment_queries () =
+  let lhs = F.client_query P.phi2 in
+  check rows_testable "client side of φ2"
+    [ row [ ("Id", V.Int 3); ("Department", V.String "Sales") ];
+      row [ ("Id", V.Int 4); ("Department", V.String "Support") ] ]
+    (Query.Eval.rows env
+       { Query.Eval.client = P.sample_client; store = P.sample_store }
+       lhs);
+  let rhs = F.store_query P.phi2 in
+  check rows_testable "store side renamed to attrs"
+    [ row [ ("Id", V.Int 3); ("Department", V.String "Sales") ];
+      row [ ("Id", V.Int 4); ("Department", V.String "Support") ] ]
+    (Query.Eval.rows env
+       { Query.Eval.client = P.sample_client; store = P.sample_store }
+       rhs)
+
+let test_fragments_hold () =
+  List.iter
+    (fun (name, f) ->
+      checkb (name ^ " holds on the sample pair") true
+        (F.holds env P.sample_client P.sample_store f))
+    [ ("phi1'", P.phi1'); ("phi2", P.phi2); ("phi3", P.phi3); ("phi4", P.phi4) ];
+  checkb "Σ4 related" true
+    (Mapping.Fragments.related env P.sample_client P.sample_store
+       P.stage4.P.fragments)
+
+let test_fragment_fails_on_skew () =
+  (* Remove one Emp row: φ2 must fail. *)
+  let store' =
+    Relational.Instance.set_rows ~table:"Emp"
+      [ row [ ("Id", V.Int 3); ("Dept", V.String "Sales") ] ]
+      P.sample_store
+  in
+  checkb "φ2 broken" false (F.holds env P.sample_client store' P.phi2);
+  checkb "Σ4 not related" false
+    (Mapping.Fragments.related env P.sample_client store' P.stage4.P.fragments)
+
+let test_well_formed () =
+  check_ok "Σ4 well-formed" (Mapping.Fragments.well_formed env P.stage4.P.fragments);
+  check_ok "Σ1 well-formed (stage 1 env)"
+    (Mapping.Fragments.well_formed P.stage1.P.env P.stage1.P.fragments)
+
+let test_well_formed_negatives () =
+  let bad_table = F.entity ~set:"Persons" ~cond:C.True ~table:"Nope" [ ("Id", "Id") ] in
+  check_error "unknown table" (F.well_formed env bad_table);
+  let missing_key = F.entity ~set:"Persons" ~cond:C.True ~table:"HR" [ ("Name", "Name") ] in
+  check_error "projection misses key" (F.well_formed env missing_key);
+  let bad_attr = F.entity ~set:"Persons" ~cond:C.True ~table:"HR" [ ("Id", "Id"); ("Zz", "Name") ] in
+  check_error "unknown attribute" (F.well_formed env bad_attr);
+  let bad_col = F.entity ~set:"Persons" ~cond:C.True ~table:"HR" [ ("Id", "Id"); ("Name", "Zz") ] in
+  check_error "unknown column" (F.well_formed env bad_col);
+  let type_in_store =
+    F.entity ~set:"Persons" ~cond:C.True ~table:"HR" ~store_cond:(C.Is_of "Person")
+      [ ("Id", "Id"); ("Name", "Name") ]
+  in
+  check_error "type atom on store side" (F.well_formed env type_in_store);
+  let foreign_type =
+    F.entity ~set:"Persons" ~cond:(C.Is_of "Ghost") ~table:"HR" [ ("Id", "Id"); ("Name", "Name") ]
+  in
+  check_error "type outside hierarchy" (F.well_formed env foreign_type);
+  let domain_clash =
+    F.entity ~set:"Persons" ~cond:C.True ~table:"HR" [ ("Id", "Name"); ("Name", "Id") ]
+  in
+  check_error "domain mismatch" (F.well_formed env domain_clash);
+  let dup_assoc =
+    Mapping.Fragments.of_list [ P.phi4; P.phi4 ]
+  in
+  check_error "association mapped twice" (Mapping.Fragments.well_formed env dup_assoc)
+
+let test_collection_ops () =
+  let s = P.stage4.P.fragments in
+  check Alcotest.int "size" 4 (Mapping.Fragments.size s);
+  check Alcotest.(list string) "tables" [ "Client"; "Emp"; "HR" ] (Mapping.Fragments.tables s);
+  check Alcotest.int "fragments on Client" 2 (List.length (Mapping.Fragments.on_table s "Client"));
+  check Alcotest.int "fragments of set" 3 (List.length (Mapping.Fragments.of_set s "Persons"));
+  check Alcotest.int "fragments of assoc" 1 (List.length (Mapping.Fragments.of_assoc s "Supports"));
+  checkb "column_used Cid" true (Mapping.Fragments.column_used s ~table:"Client" "Cid");
+  checkb "column_used Eid (assoc)" true (Mapping.Fragments.column_used s ~table:"Client" "Eid");
+  checkb "column unused" false (Mapping.Fragments.column_used s ~table:"HR" "Zz");
+  (* Eid is unused before φ4 — check 1 of AddAssocFK relies on this. *)
+  checkb "Eid unused at stage 3" false
+    (Mapping.Fragments.column_used P.stage3.P.fragments ~table:"Client" "Eid");
+  let removed = Mapping.Fragments.remove P.phi4 s in
+  check Alcotest.int "remove" 3 (Mapping.Fragments.size removed);
+  checkb "equal up to order" true
+    (Mapping.Fragments.equal s (Mapping.Fragments.of_list [ P.phi4; P.phi3; P.phi2; P.phi1' ]))
+
+let prop_identity_store_relates =
+  (* For any conforming client state, materializing the canonical store state
+     by hand and checking Σ2 (Person + Employee, total TPT mapping). *)
+  qtest "Σ2 holds on canonically stored states" ~count:100 arb_client_instance (fun inst ->
+      let env2 = P.stage2.P.env in
+      (* Keep only Person/Employee entities; store them TPT-style. *)
+      let entities =
+        List.filter
+          (fun (e : Edm.Instance.entity) -> e.etype = "Person" || e.etype = "Employee")
+          (Edm.Instance.entities inst ~set:"Persons")
+      in
+      let client =
+        List.fold_left
+          (fun i e -> Edm.Instance.add_entity ~set:"Persons" e i)
+          Edm.Instance.empty entities
+      in
+      let store =
+        List.fold_left
+          (fun s (e : Edm.Instance.entity) ->
+            let s =
+              Relational.Instance.add_row ~table:"HR"
+                (Datum.Row.project [ "Id"; "Name" ] e.attrs)
+                s
+            in
+            if e.etype = "Employee" then
+              Relational.Instance.add_row ~table:"Emp"
+                (Datum.Row.of_list
+                   [ ("Id", Datum.Row.get "Id" e.attrs);
+                     ("Dept", Datum.Row.get "Department" e.attrs) ])
+                s
+            else s)
+          Relational.Instance.empty entities
+      in
+      Mapping.Fragments.related env2 client store P.stage2.P.fragments)
+
+let () =
+  Alcotest.run "mapping"
+    [
+      ( "fragment",
+        [
+          Alcotest.test_case "queries" `Quick test_fragment_queries;
+          Alcotest.test_case "equations hold" `Quick test_fragments_hold;
+          Alcotest.test_case "equations fail on skew" `Quick test_fragment_fails_on_skew;
+          Alcotest.test_case "well-formed" `Quick test_well_formed;
+          Alcotest.test_case "well-formed negatives" `Quick test_well_formed_negatives;
+        ] );
+      ( "fragments",
+        [ Alcotest.test_case "collection ops" `Quick test_collection_ops;
+          prop_identity_store_relates ] );
+    ]

@@ -1,0 +1,266 @@
+open Common
+
+let env = pe.Workload.Paper_example.env
+let client = env.Query.Env.client
+let sample_db = { Query.Eval.client = Workload.Paper_example.sample_client;
+                  store = Workload.Paper_example.sample_store }
+
+let persons = A.Scan (A.Entity_set "Persons")
+
+let test_entity_scan () =
+  let rows = Query.Eval.rows env sample_db persons in
+  check Alcotest.int "six entities" 6 (List.length rows);
+  let ana = List.find (fun r -> V.equal (Datum.Row.get "Id" r) (V.Int 1)) rows in
+  checkb "type column bound" true (V.equal (Datum.Row.get "$type" ana) (V.String "Person"));
+  checkb "absent attribute padded with NULL" true (V.equal (Datum.Row.get "Department" ana) V.Null);
+  let cyd = List.find (fun r -> V.equal (Datum.Row.get "Id" r) (V.Int 3)) rows in
+  checkb "declared attribute present" true
+    (V.equal (Datum.Row.get "Department" cyd) (V.String "Sales"))
+
+let test_type_conditions () =
+  let count c = List.length (Query.Eval.rows env sample_db (A.Select (c, persons))) in
+  check Alcotest.int "IS OF Person matches all" 6 (count (C.Is_of "Person"));
+  check Alcotest.int "IS OF Employee" 2 (count (C.Is_of "Employee"));
+  check Alcotest.int "IS OF ONLY Person" 2 (count (C.Is_of_only "Person"));
+  check Alcotest.int "disjunction" 4
+    (count (C.Or (C.Is_of_only "Person", C.Is_of "Employee")));
+  check Alcotest.int "null test" 4 (count (C.Is_null "Department"));
+  check Alcotest.int "comparison with NULL attr is false" 2
+    (count (C.Cmp ("CredScore", C.Ge, V.Int 0)))
+
+let test_project_consts () =
+  let q =
+    A.Project
+      ( [ A.col "Id"; A.col_as "Name" "N"; A.tag "flag"; A.null_as "pad" ],
+        A.Select (C.Is_of_only "Person", persons) )
+  in
+  let rows = Query.Eval.rows env sample_db q in
+  check Alcotest.int "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      checkb "tag true" true (V.equal (Datum.Row.get "flag" r) (V.Bool true));
+      checkb "pad null" true (V.equal (Datum.Row.get "pad" r) V.Null);
+      checkb "renamed" true (Datum.Row.mem "N" r))
+    rows
+
+let hr = A.Scan (A.Table "HR")
+let emp = A.Scan (A.Table "Emp")
+
+let test_joins () =
+  let j = A.Join (hr, emp, [ "Id" ]) in
+  check Alcotest.int "inner join" 2 (List.length (Query.Eval.rows env sample_db j));
+  let loj = A.Left_outer_join (hr, emp, [ "Id" ]) in
+  let rows = Query.Eval.rows env sample_db loj in
+  check Alcotest.int "left outer join keeps all HR" 4 (List.length rows);
+  let ana = List.find (fun r -> V.equal (Datum.Row.get "Id" r) (V.Int 1)) rows in
+  checkb "unmatched padded" true (V.equal (Datum.Row.get "Dept" ana) V.Null)
+
+let test_join_null_no_match () =
+  (* Join Client.Eid against Emp.Id: Fay's NULL Eid must not match. *)
+  let q =
+    A.Join
+      (A.project_renamed [ ("Cid", "Cid"); ("Eid", "Id") ] (A.Scan (A.Table "Client")),
+       A.project_cols [ "Id"; "Dept" ] emp, [ "Id" ])
+  in
+  check Alcotest.int "null join key drops row" 1 (List.length (Query.Eval.rows env sample_db q))
+
+let test_full_outer_join () =
+  let adult = A.project_renamed [ ("Id", "Id"); ("Name", "Name") ] hr in
+  let dept = A.project_renamed [ ("Id", "Id"); ("Dept", "Dept") ] emp in
+  let foj = A.Full_outer_join (adult, dept, [ "Id" ]) in
+  check Alcotest.int "foj covers both sides" 4 (List.length (Query.Eval.rows env sample_db foj));
+  (* Make an Emp row with no HR partner to exercise the right-unmatched leg. *)
+  let store' =
+    Relational.Instance.add_row ~table:"Emp"
+      (row [ ("Id", V.Int 50); ("Dept", V.String "Ghost") ])
+      sample_db.Query.Eval.store
+  in
+  let db' = { sample_db with Query.Eval.store = store' } in
+  let rows = Query.Eval.rows env db' foj in
+  check Alcotest.int "right-unmatched kept" 5 (List.length rows);
+  let ghost = List.find (fun r -> V.equal (Datum.Row.get "Id" r) (V.Int 50)) rows in
+  checkb "left side padded" true (V.equal (Datum.Row.get "Name" ghost) V.Null)
+
+let test_union_all () =
+  let q = A.Union_all (A.project_cols [ "Id" ] hr, A.project_cols [ "Id" ] emp) in
+  check Alcotest.int "bag union" 6 (List.length (Query.Eval.rows env sample_db q));
+  check Alcotest.int "set semantics dedups" 4 (List.length (Query.Eval.rows_set env sample_db q))
+
+let test_infer_errors () =
+  checkb "unknown set" true (Result.is_error (A.infer env (A.Scan (A.Entity_set "Nope"))));
+  checkb "projection of absent column" true
+    (Result.is_error (A.infer env (A.project_cols [ "Zz" ] hr)));
+  checkb "duplicate projected name" true
+    (Result.is_error (A.infer env (A.Project ([ A.col "Id"; A.col_as "Name" "Id" ], hr))));
+  checkb "type test over table rows" true
+    (Result.is_error (A.infer env (A.Select (C.Is_of "Person", hr))));
+  checkb "union schema mismatch" true
+    (Result.is_error (A.infer env (A.Union_all (hr, emp))));
+  checkb "join clash outside join columns" true
+    (Result.is_error (A.infer env (A.Join (hr, A.Scan (A.Table "HR"), [ "Id" ]))));
+  check (Alcotest.list Alcotest.string) "join output order" [ "Id"; "Name"; "Dept" ]
+    (ok_exn (A.infer env (A.Join (hr, emp, [ "Id" ]))))
+
+(* -- Cond properties ------------------------------------------------------ *)
+
+let rows_of_instance inst = Query.Eval.rows env (Query.Eval.client_db inst) persons
+
+let prop_dnf_equivalent =
+  qtest "dnf preserves evaluation" ~count:300
+    QCheck.(pair arb_cond arb_client_instance)
+    (fun (c, inst) ->
+      let dnf = C.dnf c in
+      List.for_all
+        (fun r ->
+          let direct = C.eval client r c in
+          let via_dnf =
+            List.exists (fun conj -> List.for_all (fun a -> C.eval client r a) conj) dnf
+          in
+          direct = via_dnf)
+        (rows_of_instance inst))
+
+let prop_simplify_equivalent =
+  qtest "simplify preserves evaluation" ~count:300
+    QCheck.(pair arb_cond arb_client_instance)
+    (fun (c, inst) ->
+      let s = C.simplify c in
+      List.for_all (fun r -> C.eval client r c = C.eval client r s) (rows_of_instance inst))
+
+let prop_negate_complements =
+  qtest "negate is the row-level complement" ~count:300
+    QCheck.(pair arb_cond_no_types arb_client_instance)
+    (fun (c, inst) ->
+      match C.negate c with
+      | None -> QCheck.Test.fail_reportf "negate returned None on a type-free condition"
+      | Some nc ->
+          List.for_all
+            (fun r -> C.eval client r c <> C.eval client r nc)
+            (rows_of_instance inst))
+
+let test_negate_type_test () =
+  let neg = Option.get (C.negate_type_test client ~set_root:"Person" (C.Is_of "Employee")) in
+  List.iter
+    (fun r ->
+      checkb "complement within hierarchy" true
+        (C.eval client r (C.Is_of "Employee") <> C.eval client r neg))
+    (rows_of_instance Workload.Paper_example.sample_client)
+
+let test_cond_helpers () =
+  let c = C.And (C.Is_of "Employee", C.Or (C.Cmp ("Id", C.Ge, V.Int 1), C.Is_null "Name")) in
+  check Alcotest.int "atoms" 3 (List.length (C.atoms c));
+  check (Alcotest.list Alcotest.string) "columns" [ "Id"; "Name" ] (C.columns c);
+  check Alcotest.int "type atoms" 1 (List.length (C.type_atoms c));
+  let renamed = C.rename_columns [ ("Id", "Pid") ] c in
+  check (Alcotest.list Alcotest.string) "renamed columns" [ "Name"; "Pid" ] (C.columns renamed)
+
+(* -- simplifier ----------------------------------------------------------- *)
+
+let random_queries =
+  [
+    A.Select (C.True, persons);
+    A.Select (C.Is_of "Employee", A.Select (C.Cmp ("Id", C.Ge, V.Int 2), persons));
+    A.Project
+      ( [ A.col "Id"; A.col_as "Name" "N" ],
+        A.Project ([ A.col "Id"; A.col "Name"; A.tag "t" ], persons) );
+    A.Project ([ A.col "Id"; A.col "Dept" ], (A.Scan (A.Table "Emp")));
+    A.Project
+      ( [ A.col_as "X" "Y" ],
+        A.Project ([ A.const (V.Int 7) "X" ], A.Scan (A.Table "HR")) );
+    A.Union_all
+      (A.Select (C.False, A.project_cols [ "Id" ] hr), A.project_cols [ "Id" ] emp);
+  ]
+
+let test_simplify_queries () =
+  List.iter
+    (fun q ->
+      let s = Query.Simplify.query env q in
+      check rows_testable (A.show q) (Query.Eval.rows env sample_db q)
+        (Query.Eval.rows env sample_db s))
+    random_queries;
+  (* Specific shapes. *)
+  checkb "select true dropped" true
+    (A.equal (Query.Simplify.query env (A.Select (C.True, persons))) persons);
+  checkb "identity projection dropped" true
+    (A.equal (Query.Simplify.query env (A.project_cols [ "Id"; "Dept" ] (A.Scan (A.Table "Emp"))))
+       (A.Scan (A.Table "Emp")))
+
+(* -- pretty --------------------------------------------------------------- *)
+
+let test_pretty () =
+  let q = A.Project ([ A.col "Id"; A.col "Name" ], (A.Select (C.Is_of "Person", persons))) in
+  check Alcotest.string "fragment left side"
+    "SELECT Id, Name\nFROM Persons\nWHERE IS OF Person"
+    (Query.Pretty.query_string q);
+  let v =
+    { Query.View.query = A.project_cols [ "Id"; "Name" ] hr;
+      ctor = Query.Ctor.Entity { etype = "Person"; attrs = [ "Id"; "Name" ] } }
+  in
+  checkb "view string mentions SELECT VALUE" true
+    (String.length (Query.Pretty.view_string v) > 0
+    && String.sub (Query.Pretty.view_string v) 0 12 = "SELECT VALUE")
+
+(* -- ctor ----------------------------------------------------------------- *)
+
+let sample_ctor =
+  Query.Ctor.If
+    ( C.Cmp ("tC", C.Eq, V.Bool true),
+      Query.Ctor.Entity { etype = "Customer"; attrs = [ "Id"; "Name"; "CredScore"; "BillAddr" ] },
+      Query.Ctor.If
+        ( C.Cmp ("tE", C.Eq, V.Bool true),
+          Query.Ctor.Entity { etype = "Employee"; attrs = [ "Id"; "Name"; "Department" ] },
+          Query.Ctor.Entity { etype = "Person"; attrs = [ "Id"; "Name" ] } ) )
+
+let test_ctor_eval () =
+  let r = row [ ("Id", V.Int 1); ("Name", V.String "x"); ("Department", V.String "d");
+                ("tE", V.Bool true); ("tC", V.Null) ] in
+  let e = Query.Ctor.eval_entity client r sample_ctor in
+  check Alcotest.string "branches on tags" "Employee" e.Edm.Instance.etype;
+  checkb "attrs projected" true (Datum.Row.mem "Department" e.Edm.Instance.attrs);
+  checkb "tag not in attrs" false (Datum.Row.mem "tE" e.Edm.Instance.attrs)
+
+let test_ctor_guard () =
+  let g =
+    Option.get
+      (Query.Ctor.guard_for sample_ctor ~satisfies:(fun ty ->
+           Edm.Schema.is_subtype client ~sub:ty ~sup:"Employee"))
+  in
+  let r_emp = row [ ("tE", V.Bool true); ("tC", V.Null) ] in
+  let r_per = row [ ("tE", V.Null); ("tC", V.Null) ] in
+  let r_cus = row [ ("tE", V.Null); ("tC", V.Bool true) ] in
+  checkb "guard accepts employee rows" true (C.eval client r_emp g);
+  checkb "guard rejects plain person rows" false (C.eval client r_per g);
+  checkb "guard rejects customer rows" false (C.eval client r_cus g);
+  check Alcotest.(list string) "types constructed" [ "Customer"; "Employee"; "Person" ]
+    (Query.Ctor.types_constructed sample_ctor)
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "entity scan" `Quick test_entity_scan;
+          Alcotest.test_case "type conditions" `Quick test_type_conditions;
+          Alcotest.test_case "projection constants" `Quick test_project_consts;
+          Alcotest.test_case "joins" `Quick test_joins;
+          Alcotest.test_case "null join keys" `Quick test_join_null_no_match;
+          Alcotest.test_case "full outer join" `Quick test_full_outer_join;
+          Alcotest.test_case "union all" `Quick test_union_all;
+          Alcotest.test_case "inference errors" `Quick test_infer_errors;
+        ] );
+      ( "cond",
+        [
+          prop_dnf_equivalent;
+          prop_simplify_equivalent;
+          prop_negate_complements;
+          Alcotest.test_case "negate type test" `Quick test_negate_type_test;
+          Alcotest.test_case "helpers" `Quick test_cond_helpers;
+        ] );
+      ( "simplify",
+        [ Alcotest.test_case "semantics preserved" `Quick test_simplify_queries ] );
+      ( "pretty", [ Alcotest.test_case "rendering" `Quick test_pretty ] );
+      ( "ctor",
+        [
+          Alcotest.test_case "evaluation" `Quick test_ctor_eval;
+          Alcotest.test_case "guards" `Quick test_ctor_guard;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+open Common
+
+(* Whole-system fuzzing: every randomly generated valid model must pass
+   through every pipeline of the stack. *)
+
+let seeds = List.init 25 (fun i -> i + 1)
+
+let models =
+  lazy
+    (List.map (fun seed -> (seed, Workload.Random_model.generate ~seed ())) seeds)
+
+let test_well_formed () =
+  List.iter
+    (fun (seed, (env, frags)) ->
+      let tag = Printf.sprintf "seed %d" seed in
+      check_ok (tag ^ " client") (Edm.Schema.well_formed env.Query.Env.client);
+      check_ok (tag ^ " store") (Relational.Schema.well_formed env.Query.Env.store);
+      check_ok (tag ^ " fragments") (Mapping.Fragments.well_formed env frags))
+    (Lazy.force models)
+
+let compiled =
+  lazy
+    (List.map
+       (fun (seed, (env, frags)) ->
+         match Fullc.Compile.compile env frags with
+         | Ok c -> (seed, env, frags, c)
+         | Error e -> Alcotest.failf "seed %d failed to compile: %s" seed e)
+       (Lazy.force models))
+
+let test_compiles () = ignore (Lazy.force compiled)
+
+let test_roundtrips () =
+  List.iter
+    (fun (seed, env, _frags, c) ->
+      match
+        Roundtrip.Check.roundtrips env c.Fullc.Compile.query_views c.Fullc.Compile.update_views
+          ~samples:8 ~base_seed:(seed * 1000) ()
+      with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "seed %d roundtrip: %a" seed Roundtrip.Check.pp_failure f)
+    (Lazy.force compiled)
+
+let test_mapping_semantics () =
+  (* The store image of every sampled state is M-related to the state. *)
+  List.iter
+    (fun (seed, env, frags, c) ->
+      let inst = Roundtrip.Generate.instance ~seed:(seed * 77) env.Query.Env.client in
+      let store = ok_exn (Query.View.apply_update_views env c.Fullc.Compile.update_views inst) in
+      checkb (Printf.sprintf "seed %d related" seed) true
+        (Mapping.Fragments.related env inst store frags))
+    (Lazy.force compiled)
+
+let test_optimizer_equivalence () =
+  List.iter
+    (fun (seed, (env, frags)) ->
+      match Fullc.Compile.compile ~validate:false ~optimize:true env frags with
+      | Error e -> Alcotest.failf "seed %d optimized compile: %s" seed e
+      | Ok opt -> (
+          match
+            Roundtrip.Check.roundtrips env opt.Fullc.Compile.query_views
+              opt.Fullc.Compile.update_views ~samples:6 ~base_seed:(seed * 500) ()
+          with
+          | Ok _ -> ()
+          | Error f ->
+              Alcotest.failf "seed %d optimized roundtrip: %a" seed Roundtrip.Check.pp_failure f))
+    (Lazy.force models)
+
+let test_state_io_roundtrip () =
+  List.iter
+    (fun (seed, env, frags, c) ->
+      let st = Core.State.of_compiled env frags c in
+      let st' = ok_exn (Surface.State_io.load (Surface.State_io.save st)) in
+      checkb (Printf.sprintf "seed %d fragments survive" seed) true
+        (Mapping.Fragments.equal st.Core.State.fragments st'.Core.State.fragments);
+      checkb (Printf.sprintf "seed %d schema survives" seed) true
+        (Edm.Schema.equal st.Core.State.env.Query.Env.client st'.Core.State.env.Query.Env.client))
+    (Lazy.force compiled)
+
+let test_dsl_roundtrip () =
+  List.iter
+    (fun (seed, (env, frags)) ->
+      let text = Surface.Print_dsl.model env frags in
+      match Result.bind (Surface.Parser.model text) Surface.Elaborate.model with
+      | Error e -> Alcotest.failf "seed %d DSL reparse: %s" seed e
+      | Ok (env', frags') ->
+          checkb (Printf.sprintf "seed %d client" seed) true
+            (Edm.Schema.equal env.Query.Env.client env'.Query.Env.client);
+          checkb (Printf.sprintf "seed %d store" seed) true
+            (Relational.Schema.equal env.Query.Env.store env'.Query.Env.store);
+          checkb (Printf.sprintf "seed %d fragments" seed) true
+            (Mapping.Fragments.equal frags frags'))
+    (Lazy.force models)
+
+let test_evolution_on_random_models () =
+  (* An AddEntity TPT below a random root must keep the mapping sound. *)
+  List.iter
+    (fun (seed, env, frags, c) ->
+      let client = env.Query.Env.client in
+      match Edm.Schema.entity_sets client with
+      | [] -> ()
+      | (_, root) :: _ ->
+          let key_carrier =
+            let st = Core.State.of_compiled env frags c in
+            Modef.Style.key_carrier st.Core.State.env st.Core.State.fragments ~etype:root
+          in
+          (match key_carrier with
+          | None -> ()
+          | Some (ptable, _) ->
+              let st = Core.State.of_compiled env frags c in
+              let entity =
+                Edm.Entity_type.derived ~name:"Fresh" ~parent:root
+                  [ ("FreshAttr", D.String) ]
+              in
+              let table =
+                Relational.Table.make ~name:"TFresh" ~key:[ "Id" ]
+                  ~fks:[ { Relational.Table.fk_columns = [ "Id" ]; ref_table = ptable;
+                           ref_columns = [ "Id" ] } ]
+                  [ ("Id", D.Int, `Not_null); ("FreshAttr", D.String, `Null) ]
+              in
+              let smo =
+                Core.Smo.Add_entity
+                  { entity; alpha = [ "Id"; "FreshAttr" ]; p_ref = Some root; table;
+                    fmap = [ ("Id", "Id"); ("FreshAttr", "FreshAttr") ] }
+              in
+              (match Core.Engine.apply st smo with
+              | Error _ -> () (* some random neighborhoods rightly refuse *)
+              | Ok st' -> (
+                  match
+                    Roundtrip.Check.roundtrips st'.Core.State.env st'.Core.State.query_views
+                      st'.Core.State.update_views ~samples:5 ~base_seed:(seed * 331) ()
+                  with
+                  | Ok _ -> ()
+                  | Error f ->
+                      Alcotest.failf "seed %d evolved roundtrip: %a" seed
+                        Roundtrip.Check.pp_failure f))))
+    (Lazy.force compiled)
+
+let () =
+  Alcotest.run "random models"
+    [
+      ( "fuzzing",
+        [
+          Alcotest.test_case "well-formed" `Quick test_well_formed;
+          Alcotest.test_case "full compilation" `Quick test_compiles;
+          Alcotest.test_case "roundtrips" `Quick test_roundtrips;
+          Alcotest.test_case "mapping semantics" `Quick test_mapping_semantics;
+          Alcotest.test_case "optimizer equivalence" `Quick test_optimizer_equivalence;
+          Alcotest.test_case "state io" `Quick test_state_io_roundtrip;
+          Alcotest.test_case "DSL roundtrip" `Quick test_dsl_roundtrip;
+          Alcotest.test_case "evolution" `Quick test_evolution_on_random_models;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+open Common
+
+let store = Workload.Paper_example.stage4.env.Query.Env.store
+let sample = Workload.Paper_example.sample_store
+
+let test_table_ops () =
+  let tbl = Relational.Schema.get_table store "Client" in
+  check Alcotest.(list string) "columns" [ "Cid"; "Eid"; "Name"; "Score"; "Addr" ]
+    (Relational.Table.column_names tbl);
+  checkb "key not nullable" false (Relational.Table.nullable tbl "Cid");
+  checkb "Eid nullable" true (Relational.Table.nullable tbl "Eid");
+  checkb "unknown column not nullable" false (Relational.Table.nullable tbl "Zz");
+  check Alcotest.(list string) "non-key columns" [ "Eid"; "Name"; "Score"; "Addr" ]
+    (Relational.Table.non_key_columns tbl);
+  checkb "domain_of" true (Relational.Table.domain_of tbl "Score" = Some D.Int)
+
+let test_schema_ops () =
+  check_ok "paper store well-formed" (Relational.Schema.well_formed store);
+  check Alcotest.int "referencing Emp" 1 (List.length (Relational.Schema.referencing store "Emp"));
+  check_error "remove referenced table"
+    (Result.map (fun _ -> ()) (Relational.Schema.remove_table "HR" store));
+  let ok_removed = Relational.Schema.remove_table "Client" store in
+  checkb "remove unreferenced table" true (Result.is_ok ok_removed)
+
+let test_schema_well_formed_negative () =
+  let bad_fk =
+    Relational.Table.make ~name:"T" ~key:[ "Id" ]
+      ~fks:[ { Relational.Table.fk_columns = [ "Id" ]; ref_table = "Missing"; ref_columns = [ "Id" ] } ]
+      [ ("Id", D.Int, `Not_null) ]
+  in
+  let s = ok_exn (Relational.Schema.add_table bad_fk Relational.Schema.empty) in
+  check_error "fk to unknown table" (Relational.Schema.well_formed s);
+  let partial_key_fk =
+    Relational.Table.make ~name:"U" ~key:[ "Id" ]
+      ~fks:[ { Relational.Table.fk_columns = [ "Id" ]; ref_table = "Client"; ref_columns = [ "Eid" ] } ]
+      [ ("Id", D.Int, `Not_null) ]
+  in
+  let s2 = ok_exn (Relational.Schema.add_table partial_key_fk store) in
+  check_error "fk not targeting full key" (Relational.Schema.well_formed s2);
+  let mismatched =
+    Relational.Table.make ~name:"W" ~key:[ "Id" ]
+      ~fks:[ { Relational.Table.fk_columns = [ "Id" ]; ref_table = "HR"; ref_columns = [ "Id" ] } ]
+      [ ("Id", D.String, `Not_null) ]
+  in
+  let s3 = ok_exn (Relational.Schema.add_table mismatched store) in
+  check_error "fk domain mismatch" (Relational.Schema.well_formed s3)
+
+let test_instance_conforms () =
+  check_ok "sample conforms" (Relational.Instance.conforms store sample);
+  let missing_col =
+    Relational.Instance.add_row ~table:"HR" (row [ ("Id", V.Int 9) ]) Relational.Instance.empty
+  in
+  check_error "row missing column" (Relational.Instance.conforms store missing_col);
+  let null_in_required =
+    Relational.Instance.add_row ~table:"HR"
+      (row [ ("Id", V.Null); ("Name", V.String "x") ])
+      Relational.Instance.empty
+  in
+  check_error "null in non-nullable" (Relational.Instance.conforms store null_in_required);
+  let dup =
+    Relational.Instance.empty
+    |> Relational.Instance.add_row ~table:"HR" (row [ ("Id", V.Int 1); ("Name", V.String "a") ])
+    |> Relational.Instance.add_row ~table:"HR" (row [ ("Id", V.Int 1); ("Name", V.String "b") ])
+  in
+  check_error "duplicate key" (Relational.Instance.conforms store dup)
+
+let test_instance_fks () =
+  let dangling =
+    Relational.Instance.add_row ~table:"Emp"
+      (row [ ("Id", V.Int 77); ("Dept", V.String "x") ])
+      sample
+  in
+  check_error "dangling Emp.Id -> HR.Id" (Relational.Instance.conforms store dangling);
+  (* NULL foreign keys are exempt (simple match): Client.Eid of Fay is NULL. *)
+  check_ok "null fk exempt" (Relational.Instance.conforms store sample);
+  let bad_eid =
+    Relational.Instance.add_row ~table:"Client"
+      (row
+         [ ("Cid", V.Int 9); ("Eid", V.Int 99); ("Name", V.String "x"); ("Score", V.Int 1);
+           ("Addr", V.String "a") ])
+      sample
+  in
+  check_error "dangling Client.Eid" (Relational.Instance.conforms store bad_eid)
+
+let test_instance_equal () =
+  let a =
+    Relational.Instance.set_rows ~table:"HR"
+      [ row [ ("Id", V.Int 1); ("Name", V.String "a") ]; row [ ("Id", V.Int 2); ("Name", V.String "b") ] ]
+      Relational.Instance.empty
+  in
+  let b =
+    Relational.Instance.set_rows ~table:"HR"
+      [
+        row [ ("Id", V.Int 2); ("Name", V.String "b") ];
+        row [ ("Id", V.Int 1); ("Name", V.String "a") ];
+        row [ ("Id", V.Int 1); ("Name", V.String "a") ];
+      ]
+      Relational.Instance.empty
+  in
+  checkb "order- and duplicate-insensitive" true (Relational.Instance.equal a b);
+  checkb "empty table equals missing table" true
+    (Relational.Instance.equal Relational.Instance.empty
+       (Relational.Instance.set_rows ~table:"HR" [] Relational.Instance.empty))
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "table ops" `Quick test_table_ops;
+          Alcotest.test_case "schema ops" `Quick test_schema_ops;
+          Alcotest.test_case "well-formed negatives" `Quick test_schema_well_formed_negative;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "conforms" `Quick test_instance_conforms;
+          Alcotest.test_case "foreign keys" `Quick test_instance_fks;
+          Alcotest.test_case "equality" `Quick test_instance_equal;
+        ] );
+    ]

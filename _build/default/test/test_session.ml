@@ -1,0 +1,147 @@
+open Common
+module P = Workload.Paper_example
+module S = Core.Session
+
+let employee = Edm.Entity_type.derived ~name:"Employee" ~parent:"Person" [ ("Department", D.String) ]
+
+let emp_table =
+  Relational.Table.make ~name:"Emp" ~key:[ "Id" ]
+    ~fks:[ { Relational.Table.fk_columns = [ "Id" ]; ref_table = "HR"; ref_columns = [ "Id" ] } ]
+    [ ("Id", D.Int, `Not_null); ("Dept", D.String, `Null) ]
+
+let smo_employee =
+  Core.Smo.Add_entity
+    { entity = employee; alpha = [ "Id"; "Department" ]; p_ref = Some "Person"; table = emp_table;
+      fmap = [ ("Id", "Id"); ("Department", "Dept") ] }
+
+let smo_property =
+  Core.Smo.Add_property
+    { etype = "Employee"; attr = ("Level", D.Int);
+      target = Core.Add_property.To_existing_table { table = "Emp"; column = "Level" } }
+
+let fresh_session () =
+  S.start (ok_exn (Core.State.bootstrap P.stage1.P.env P.stage1.P.fragments))
+
+let has_type s ty = Edm.Schema.mem_type (S.current s).Core.State.env.Query.Env.client ty
+
+let test_apply_and_history () =
+  let s = fresh_session () in
+  let s = ok_exn (S.apply s smo_employee) in
+  let s = ok_exn (S.apply s smo_property) in
+  check Alcotest.int "two entries" 2 (List.length (S.history s));
+  check (Alcotest.list Alcotest.string) "labels in order" [ "AE-TPT"; "AP" ]
+    (List.map (fun (e : S.entry) -> Core.Smo.name e.S.smo) (S.history s));
+  checkb "schema evolved" true (has_type s "Employee")
+
+let test_failed_apply_keeps_session () =
+  let s = fresh_session () in
+  let bad =
+    Core.Smo.Drop_entity { etype = "Person" } (* roots cannot be dropped *)
+  in
+  (match S.apply s bad with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error _ -> ());
+  check Alcotest.int "history unchanged" 0 (List.length (S.history s))
+
+let test_undo_redo () =
+  let s = fresh_session () in
+  let s = ok_exn (S.apply s smo_employee) in
+  let s = ok_exn (S.apply s smo_property) in
+  let s = Option.get (S.undo s) in
+  checkb "property undone" true
+    (Edm.Schema.attribute_domain (S.current s).Core.State.env.Query.Env.client "Employee" "Level"
+    = None);
+  let s = Option.get (S.undo s) in
+  checkb "employee undone" false (has_type s "Employee");
+  checkb "cannot undo past the start" true (S.undo s = None);
+  let s = Option.get (S.redo s) in
+  checkb "employee redone" true (has_type s "Employee");
+  let s = ok_exn (S.apply s smo_property) in
+  checkb "redo trail cleared by a new apply" true (S.redo s = None)
+
+let test_checkpoints () =
+  let s = fresh_session () in
+  let s = ok_exn (S.apply s smo_employee) in
+  let s = S.checkpoint ~name:"with-employee" s in
+  let s = ok_exn (S.apply s smo_property) in
+  let s = ok_exn (S.rollback_to ~name:"with-employee" s) in
+  checkb "back at the checkpoint" true (has_type s "Employee");
+  checkb "later SMO rolled back" true
+    (Edm.Schema.attribute_domain (S.current s).Core.State.env.Query.Env.client "Employee" "Level"
+    = None);
+  checkb "unknown checkpoint" true (Result.is_error (S.rollback_to ~name:"nope" s));
+  let log = S.log s in
+  List.iter
+    (fun sub -> checkb ("log mentions " ^ sub) true (contains ~sub log))
+    [ "applied"; "AE-TPT"; "checkpoint with-employee"; "rollback  -> with-employee" ]
+
+(* -- query / data / dml surface forms ---------------------------------------- *)
+
+let env4 = P.stage4.P.env
+
+let test_query_surface () =
+  let q_ast = ok_exn (Surface.Parser.query "select Id, Name as N from Persons where is of Employee") in
+  let q = ok_exn (Surface.Elaborate.query env4 q_ast) in
+  let rows =
+    Query.Eval.rows_set env4 (Query.Eval.client_db P.sample_client) q
+  in
+  check Alcotest.int "two employees" 2 (List.length rows);
+  checkb "renamed column" true (List.for_all (fun r -> Datum.Row.mem "N" r) rows);
+  (* select * excludes the $type pseudo-column. *)
+  let star = ok_exn (Surface.Elaborate.query env4 (ok_exn (Surface.Parser.query "select * from Supports"))) in
+  let rows = Query.Eval.rows_set env4 (Query.Eval.client_db P.sample_client) star in
+  check Alcotest.int "one link" 1 (List.length rows);
+  checkb "unknown source rejected" true
+    (Result.is_error
+       (Surface.Elaborate.query env4 (ok_exn (Surface.Parser.query "select * from Nowhere"))));
+  checkb "unknown column rejected" true
+    (Result.is_error
+       (Surface.Elaborate.query env4 (ok_exn (Surface.Parser.query "select Zz from Persons"))))
+
+let test_data_surface () =
+  let text =
+    {|data {
+        Persons: Person (Id = 1, Name = "Ana");
+        Persons: Employee (Id = 2, Name = "Bob", Department = "Sales");
+        Supports: (Customer.Id = 3, Employee.Id = 2);
+        Persons: Customer (Id = 3, Name = "Cyd", CredScore = 1, BillAddr = "x");
+      }|}
+  in
+  let inst = ok_exn (Surface.Elaborate.data env4 (ok_exn (Surface.Parser.data text))) in
+  check Alcotest.int "three entities" 3 (List.length (Edm.Instance.entities inst ~set:"Persons"));
+  check Alcotest.int "one link" 1 (List.length (Edm.Instance.links inst ~assoc:"Supports"));
+  (* Non-conforming data is rejected at elaboration. *)
+  let dangling = {|data { Supports: (Customer.Id = 9, Employee.Id = 9); }|} in
+  checkb "dangling link rejected" true
+    (Result.is_error (Surface.Elaborate.data env4 (ok_exn (Surface.Parser.data dangling))))
+
+let test_dml_surface () =
+  let text =
+    {|insert Persons Employee (Id = 10, Name = "Hal", Department = "IT");
+      update Persons (Id = 1) set (Name = "Anya");
+      delete Persons (Id = 2);
+      link Supports (Customer.Id = 6, Employee.Id = 3);
+      unlink Supports (Customer.Id = 5, Employee.Id = 4);|}
+  in
+  let delta = ok_exn (Surface.Elaborate.dml (ok_exn (Surface.Parser.dml text))) in
+  check Alcotest.int "five operations" 5 (List.length delta);
+  let out = ok_exn (Dml.Delta.apply env4.Query.Env.client P.sample_client delta) in
+  check Alcotest.int "entity count" 6 (List.length (Edm.Instance.entities out ~set:"Persons"))
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "apply and history" `Quick test_apply_and_history;
+          Alcotest.test_case "failed apply" `Quick test_failed_apply_keeps_session;
+          Alcotest.test_case "undo/redo" `Quick test_undo_redo;
+          Alcotest.test_case "checkpoints and log" `Quick test_checkpoints;
+        ] );
+      ( "query/data/dml surface",
+        [
+          Alcotest.test_case "queries" `Quick test_query_surface;
+          Alcotest.test_case "data blocks" `Quick test_data_surface;
+          Alcotest.test_case "dml scripts" `Quick test_dml_surface;
+        ] );
+    ]

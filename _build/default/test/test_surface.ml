@@ -1,0 +1,358 @@
+open Common
+module P = Workload.Paper_example
+
+let paper_model_text =
+  {|
+// The running example of the paper (Figs. 1 and 5), stage 4.
+client {
+  set Persons of Person;
+  type Person {
+    key Id : int;
+    Name : string;
+  }
+  type Employee : Person {
+    Department : string;
+  }
+  type Customer : Person {
+    CredScore : int;
+    BillAddr : string;
+  }
+  assoc Supports between Customer and Employee multiplicity * to 0..1;
+}
+
+store {
+  table HR {
+    Id : int not null;
+    Name : string;
+    key (Id);
+  }
+  table Emp {
+    Id : int not null;
+    Dept : string;
+    key (Id);
+    fk (Id) references HR (Id);
+  }
+  table Client {
+    Cid : int not null;
+    Eid : int;
+    Name : string;
+    Score : int;
+    Addr : string;
+    key (Cid);
+    fk (Eid) references Emp (Id);
+  }
+}
+
+mapping {
+  fragment Persons where is of only Person or is of Employee
+    maps (Id -> Id, Name -> Name) to HR;
+  fragment Persons where is of Employee
+    maps (Id -> Id, Department -> Dept) to Emp;
+  fragment Persons where is of Customer
+    maps (Id -> Cid, Name -> Name, CredScore -> Score, BillAddr -> Addr) to Client;
+  fragment Supports maps (Customer.Id -> Cid, Employee.Id -> Eid)
+    to Client where Eid is not null;
+}
+|}
+
+let parse_paper () =
+  let ast = ok_exn (Surface.Parser.model paper_model_text) in
+  ok_exn (Surface.Elaborate.model ast)
+
+let test_parse_paper_model () =
+  let env, frags = parse_paper () in
+  checkb "client schema equals the fixture" true
+    (Edm.Schema.equal env.Query.Env.client P.stage4.P.env.Query.Env.client);
+  checkb "store schema equals the fixture" true
+    (Relational.Schema.equal env.Query.Env.store P.stage4.P.env.Query.Env.store);
+  checkb "fragments equal Σ4" true (Mapping.Fragments.equal frags P.stage4.P.fragments)
+
+let test_model_print_parse_roundtrip () =
+  List.iter
+    (fun (env, frags) ->
+      let text = Surface.Print_dsl.model env frags in
+      let ast = ok_exn (Surface.Parser.model text) in
+      let env', frags' = ok_exn (Surface.Elaborate.model ast) in
+      checkb "client roundtrips" true (Edm.Schema.equal env.Query.Env.client env'.Query.Env.client);
+      checkb "store roundtrips" true
+        (Relational.Schema.equal env.Query.Env.store env'.Query.Env.store);
+      checkb "fragments roundtrip" true (Mapping.Fragments.equal frags frags'))
+    [
+      (P.stage4.P.env, P.stage4.P.fragments);
+      Workload.Hub_rim.generate ~n:2 ~m:2 ~style:`Tph;
+      Workload.Chain.generate ~size:5;
+    ]
+
+let smo_script_text =
+  {|
+add entity Employee : Person { Department : string; }
+  alpha (Id, Department) reference Person
+  to table Emp {
+    Id : int not null;
+    Dept : string;
+    key (Id);
+    fk (Id) references HR (Id);
+  }
+  map (Id -> Id, Department -> Dept);
+
+add entity Customer : Person { CredScore : int; BillAddr : string; }
+  alpha (Id, Name, CredScore, BillAddr) reference nil
+  to table Client {
+    Cid : int not null;
+    Eid : int;
+    Name : string;
+    Score : int;
+    Addr : string;
+    key (Cid);
+    fk (Eid) references Emp (Id);
+  }
+  map (Id -> Cid, Name -> Name, CredScore -> Score, BillAddr -> Addr);
+
+add assoc Supports between Customer and Employee multiplicity * to 0..1
+  fk in Client map (Customer.Id -> Cid, Employee.Id -> Eid);
+|}
+
+let test_smo_script () =
+  let ast = ok_exn (Surface.Parser.script smo_script_text) in
+  let smos = ok_exn (Surface.Elaborate.script ast) in
+  check Alcotest.int "three SMOs" 3 (List.length smos);
+  let st = ok_exn (Core.State.bootstrap P.stage1.P.env P.stage1.P.fragments) in
+  let st = ok_exn (Core.Engine.apply_all st smos) in
+  checkb "script reproduces Σ4" true
+    (Mapping.Fragments.equal st.Core.State.fragments P.stage4.P.fragments);
+  checkb "script reproduces the stage-4 schema" true
+    (Edm.Schema.equal st.Core.State.env.Query.Env.client P.stage4.P.env.Query.Env.client);
+  checkb "roundtrips" true (ok_exn (Core.State.roundtrip_ok st P.sample_client))
+
+let test_smo_script_other_forms () =
+  let text =
+    {|
+add entity Book : Item { Pages : int; }
+  tph in Inventory discriminator Disc = "book"
+  map (Id -> Id, Label -> Label, Pages -> Pages);
+
+add entity Citizen : Human { Age : int not null; }
+  partitions reference Human
+  partition (Hid, Age) where Age >= 18
+    to table Adult { Hid : int not null; Age : int; key (Hid); }
+    map (Hid -> Hid, Age -> Age)
+  partition (Hid, Age) where Age < 18
+    to table Young { Hid : int not null; Age : int; key (Hid); }
+    map (Hid -> Hid, Age -> Age);
+
+add assoc Tagged between Content and Author multiplicity * to *
+  jt to table Tags { Cid : int not null; Aid : int not null; key (Cid, Aid); }
+  map (Content.Id -> Cid, Author.Aid -> Aid);
+
+add property Employee.Level : int in Emp column Level;
+add property Person.Nick : string
+  to table Nicks { Id : int not null; Nick : string; key (Id); }
+  map (Id -> Id, Nick -> Nick);
+drop entity Customer;
+drop assoc Supports;
+drop property Employee.Level;
+widen property Customer.CredScore : decimal;
+modify assoc Supports multiplicity * to *;
+refactor Heads;
+|}
+  in
+  let ast = ok_exn (Surface.Parser.script text) in
+  let smos = ok_exn (Surface.Elaborate.script ast) in
+  check
+    (Alcotest.list Alcotest.string)
+    "labels"
+    [ "AE-TPH"; "AEP-2p"; "AA-JT"; "AP"; "AP"; "DROP"; "DROP-A"; "DROP-P"; "WIDEN"; "MULT";
+      "REFACTOR" ]
+    (List.map Core.Smo.name smos)
+
+let test_parse_errors () =
+  let bad msg text =
+    match Surface.Parser.model text with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" msg
+    | Error e -> checkb (msg ^ " has position info") true (contains ~sub:"line" e)
+  in
+  bad "unclosed brace" "client { set X of Y;";
+  bad "bad keyword" "klient { }";
+  bad "missing key" "store { table T { Id : int; } }";
+  bad "bad domain" "client { type T { key Id : quux; } }";
+  (match Surface.Parser.condition "Age >= " with
+  | Ok _ -> Alcotest.fail "expected condition error"
+  | Error e -> checkb "condition error" true (contains ~sub:"line" e));
+  match Surface.Parser.condition "Age >= 18 and (Gender = \"M\" or Gender = \"F\")" with
+  | Ok c ->
+      checkb "condition parsed" true
+        (Query.Cond.equal c
+           (Query.Cond.And
+              ( Query.Cond.Cmp ("Age", Query.Cond.Ge, V.Int 18),
+                Query.Cond.Or
+                  ( Query.Cond.Cmp ("Gender", Query.Cond.Eq, V.String "M"),
+                    Query.Cond.Cmp ("Gender", Query.Cond.Eq, V.String "F") ) )))
+  | Error e -> Alcotest.failf "condition should parse: %s" e
+
+let prop_cond_print_parse =
+  qtest "conditions roundtrip through the DSL" ~count:300 arb_cond (fun c ->
+      let text = Surface.Print_dsl.cond c in
+      match Surface.Parser.condition text with
+      | Ok c' ->
+          Query.Cond.equal c c'
+          || QCheck.Test.fail_reportf "%s reparsed as %s" (Query.Cond.show c) (Query.Cond.show c')
+      | Error e -> QCheck.Test.fail_reportf "%s failed to reparse %s: %s" (Query.Cond.show c) text e)
+
+let test_smo_print_parse_roundtrip () =
+  (* Printing an SMO as a script statement and reparsing it reaches a
+     fixpoint (idempotent rendering), across every constructor. *)
+  let chain_smos = List.map snd (Workload.Chain.smo_suite ~at:3) in
+  let extra =
+    [
+      Core.Smo.Drop_entity { etype = "X" };
+      Core.Smo.Drop_association { assoc = "A" };
+      Core.Smo.Drop_property { etype = "X"; attr = "a" };
+      Core.Smo.Widen_attribute { etype = "X"; attr = "a"; domain = D.Decimal };
+      Core.Smo.Set_multiplicity
+        { assoc = "A"; mult = (Edm.Association.One, Edm.Association.Many) };
+      Core.Smo.Refactor { assoc = "A" };
+    ]
+  in
+  List.iter
+    (fun smo ->
+      let text = Surface.Print_dsl.smo smo in
+      match Result.bind (Surface.Parser.script text) Surface.Elaborate.script with
+      | Error e -> Alcotest.failf "SMO %s failed to reparse: %s\n%s" (Core.Smo.show smo) e text
+      | Ok [ smo' ] ->
+          check Alcotest.string
+            ("fixpoint for " ^ Core.Smo.name smo)
+            text (Surface.Print_dsl.smo smo')
+      | Ok l -> Alcotest.failf "expected one SMO, got %d" (List.length l))
+    (chain_smos @ extra)
+
+let test_diff_script_replays () =
+  (* The MoDEF flow through the surface: infer a diff, print it, reparse it,
+     apply it — same result as applying the inferred SMOs directly. *)
+  let st =
+    ok_exn
+      (Core.State.bootstrap Workload.Paper_example.stage2.P.env
+         Workload.Paper_example.stage2.P.fragments)
+  in
+  let target =
+    ok_exn
+      (Edm.Schema.add_derived
+         (Edm.Entity_type.derived ~name:"Manager" ~parent:"Employee" [ ("Grade", D.Int) ])
+         st.Core.State.env.Query.Env.client)
+  in
+  let smos = ok_exn (Modef.Diff.infer st ~target) in
+  let text = Surface.Print_dsl.script smos in
+  let smos' = ok_exn (Surface.Elaborate.script (ok_exn (Surface.Parser.script text))) in
+  let st_direct = ok_exn (Core.Engine.apply_all st smos) in
+  let st_replayed = ok_exn (Core.Engine.apply_all st smos') in
+  checkb "replayed script reaches the same schema" true
+    (Edm.Schema.equal st_direct.Core.State.env.Query.Env.client
+       st_replayed.Core.State.env.Query.Env.client);
+  checkb "replayed script reaches the same fragments" true
+    (Mapping.Fragments.equal st_direct.Core.State.fragments st_replayed.Core.State.fragments)
+
+(* -- sexp ------------------------------------------------------------------------ *)
+
+let rec gen_sexp n =
+  QCheck.Gen.(
+    if n <= 1 then map Surface.Sexp.atom (oneofl [ "a"; "b c"; "with\"quote"; ""; "x(y)" ])
+    else
+      frequency
+        [
+          (1, map Surface.Sexp.atom (oneofl [ "atom"; "two words"; "semi;colon" ]));
+          (2, map Surface.Sexp.list (list_size (int_range 0 4) (gen_sexp (n / 2))));
+        ])
+
+let prop_sexp_roundtrip =
+  qtest "s-expressions roundtrip" ~count:300
+    (QCheck.make ~print:Surface.Sexp.to_string (gen_sexp 16))
+    (fun s ->
+      match Surface.Sexp.of_string (Surface.Sexp.to_string s) with
+      | Ok s' -> Surface.Sexp.equal s s'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+let prop_sexp_hum_roundtrip =
+  qtest "humanized s-expressions roundtrip" ~count:200
+    (QCheck.make ~print:Surface.Sexp.to_string (gen_sexp 16))
+    (fun s ->
+      match Surface.Sexp.of_string (Surface.Sexp.to_string_hum s) with
+      | Ok s' -> Surface.Sexp.equal s s'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+(* -- state save/load ---------------------------------------------------------------- *)
+
+let test_state_roundtrip () =
+  let st =
+    ok_exn (Core.State.bootstrap P.stage4.P.env P.stage4.P.fragments)
+  in
+  let text = Surface.State_io.save st in
+  let st' = ok_exn (Surface.State_io.load text) in
+  checkb "client schema survives" true
+    (Edm.Schema.equal st.Core.State.env.Query.Env.client st'.Core.State.env.Query.Env.client);
+  checkb "store schema survives" true
+    (Relational.Schema.equal st.Core.State.env.Query.Env.store st'.Core.State.env.Query.Env.store);
+  checkb "fragments survive" true
+    (Mapping.Fragments.equal st.Core.State.fragments st'.Core.State.fragments);
+  List.iter
+    (fun (ty, v) ->
+      match Query.View.entity_view st'.Core.State.query_views ty with
+      | Some v' -> checkb ("query view " ^ ty) true (Query.View.equal v v')
+      | None -> Alcotest.failf "query view %s lost" ty)
+    (Query.View.entity_view_bindings st.Core.State.query_views);
+  List.iter
+    (fun (t, v) ->
+      match Query.View.table_view st'.Core.State.update_views t with
+      | Some v' -> checkb ("update view " ^ t) true (Query.View.equal v v')
+      | None -> Alcotest.failf "update view %s lost" t)
+    (Query.View.update_view_bindings st.Core.State.update_views);
+  (* The reloaded state keeps compiling incrementally. *)
+  let smo =
+    Core.Smo.Add_property
+      { etype = "Employee"; attr = ("Level", D.Int);
+        target = Core.Add_property.To_existing_table { table = "Emp"; column = "Level" } }
+  in
+  checkb "reloaded state evolves" true (Result.is_ok (Core.Engine.apply st' smo))
+
+let test_state_io_views_after_evolution () =
+  (* Save after incremental evolution (LOJ/UNION-shaped views). *)
+  let env, frags = Workload.Chain.generate ~size:5 in
+  let st = Core.State.of_compiled env frags (ok_exn (Fullc.Compile.compile env frags)) in
+  let st =
+    List.fold_left
+      (fun st (label, smo) ->
+        if label = "AE-TPC-fk" then st
+        else match Core.Engine.apply st smo with Ok st' -> st' | Error _ -> st)
+      st
+      (Workload.Chain.smo_suite ~at:2)
+  in
+  let st' = ok_exn (Surface.State_io.load (Surface.State_io.save st)) in
+  match
+    Roundtrip.Check.roundtrips st'.Core.State.env st'.Core.State.query_views
+      st'.Core.State.update_views ~samples:15 ()
+  with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "reloaded views broke roundtripping: %a" Roundtrip.Check.pp_failure f
+
+let () =
+  Alcotest.run "surface"
+    [
+      ( "model files",
+        [
+          Alcotest.test_case "paper model parses and elaborates" `Quick test_parse_paper_model;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_model_print_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          prop_cond_print_parse;
+        ] );
+      ( "smo scripts",
+        [
+          Alcotest.test_case "paper pipeline as a script" `Quick test_smo_script;
+          Alcotest.test_case "all statement forms" `Quick test_smo_script_other_forms;
+          Alcotest.test_case "SMO printing roundtrips" `Quick test_smo_print_parse_roundtrip;
+          Alcotest.test_case "inferred diffs replay" `Quick test_diff_script_replays;
+        ] );
+      ("sexp", [ prop_sexp_roundtrip; prop_sexp_hum_roundtrip ]);
+      ( "state io",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_state_roundtrip;
+          Alcotest.test_case "evolved views survive" `Quick test_state_io_views_after_evolution;
+        ] );
+    ]
