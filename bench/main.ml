@@ -6,6 +6,7 @@
      fig9  — SMO timings on the 1002-type chain model (Fig. 9)
      fig10 — SMO timings on the customer-like model (Fig. 10)
      ablation — design-choice measurements called out in DESIGN.md
+     obs   — per-phase span breakdown via lib/obs; writes BENCH_obs.json
 
    `dune exec bench/main.exe` runs everything; pass a subset of the mode
    names to restrict, and `--chain-size N` to scale the Fig. 9 model. *)
@@ -309,6 +310,71 @@ let ablation () =
         (Workload.Chain.smo_suite ~at:100)
 
 (* ------------------------------------------------------------------ *)
+(* Per-phase span breakdown (lib/obs): where the compile time goes.    *)
+(* ------------------------------------------------------------------ *)
+
+let obs_workloads ~chain_size =
+  let size = min chain_size 200 in
+  [
+    ("paper-pipeline", fun () -> ignore (paper_pipeline ()));
+    ( "chain-full-compile",
+      fun () ->
+        let env, frags = Workload.Chain.generate ~size in
+        ignore (Fullc.Compile.compile env frags) );
+    ( "chain-smo-suite",
+      fun () ->
+        let env, frags = Workload.Chain.generate ~size in
+        match Fullc.Compile.compile env frags with
+        | Error _ -> ()
+        | Ok c ->
+            let st = Core.State.of_compiled env frags c in
+            List.iter
+              (fun (_, smo) -> ignore (Core.Engine.apply st smo))
+              (Workload.Chain.smo_suite ~at:(size / 2)) );
+    ( "customer-smo-suite",
+      fun () ->
+        let env, frags = Workload.Customer.generate () in
+        match Fullc.Compile.compile env frags with
+        | Error _ -> ()
+        | Ok c ->
+            let st = Core.State.of_compiled env frags c in
+            List.iter
+              (fun (_, smo) -> ignore (Core.Engine.apply st smo))
+              (Workload.Customer.smo_suite ()) );
+  ]
+
+let obs_report ~chain_size () =
+  header "Observability -- per-phase span breakdown (lib/obs)";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"workloads\": [";
+  List.iteri
+    (fun i (name, run) ->
+      Obs.Span.reset ();
+      Obs.enable ();
+      run ();
+      Obs.disable ();
+      Printf.printf "\n-- %s --\n%!" name;
+      Format.printf "%a%!" Obs.Export.pp_aggregate ();
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\n    { \"name\": %S, \"phases\": [" name);
+      List.iteri
+        (fun j (phase, a) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n      { \"phase\": %S, \"count\": %d, \"total_ms\": %.3f, \"self_ms\": %.3f }"
+               phase a.Obs.Export.count
+               (a.Obs.Export.total_s *. 1e3)
+               (a.Obs.Export.self_s *. 1e3)))
+        (Obs.Export.aggregate ());
+      Buffer.add_string buf "\n    ] }")
+    (obs_workloads ~chain_size);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "\nper-phase aggregates written to BENCH_obs.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -321,9 +387,11 @@ let () =
     find args
   in
   let modes =
-    List.filter (fun a -> List.mem a [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation" ]) args
+    List.filter (fun a -> List.mem a [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "obs" ]) args
   in
-  let modes = if modes = [] then [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation" ] else modes in
+  let modes =
+    if modes = [] then [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "obs" ] else modes
+  in
   List.iter
     (function
       | "fig2" -> fig2 ()
@@ -331,5 +399,6 @@ let () =
       | "fig9" -> fig9 ~chain_size ()
       | "fig10" -> fig10 ()
       | "ablation" -> ablation ()
+      | "obs" -> obs_report ~chain_size ()
       | _ -> ())
     modes

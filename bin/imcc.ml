@@ -121,6 +121,44 @@ let size_arg =
   let doc = "Size parameter for scalable models (the chain's type count)." in
   Arg.(value & opt int 100 & info [ "size" ] ~docv:"N" ~doc)
 
+(* -- observability ---------------------------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Record a hierarchical compilation trace and write it to $(docv) as Chrome \
+     trace_event JSON (loadable in about:tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.json" ~doc)
+
+let profile_arg =
+  let doc = "Print the span tree and a per-phase aggregate when the command finishes." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* Run [f] with span collection on when --trace/--profile ask for it; export
+   on the way out (also on exit 1 paths, which call [exit] inside [f]). *)
+let with_obs ~trace ~profile f =
+  if trace = None && not profile then f ()
+  else begin
+    Obs.Span.reset ();
+    Obs.enable ();
+    let finish () =
+      Obs.disable ();
+      (match trace with
+      | None -> ()
+      | Some path -> (
+          match write_file path (Obs.Export.trace_json ~process:"imcc" ()) with
+          | () -> Printf.printf "trace written to %s\n" path
+          | exception Sys_error msg ->
+              Printf.eprintf "warning: could not write trace: %s\n" msg));
+      if profile then begin
+        Format.printf "@.== span tree ==@.%a" Obs.Export.pp_tree ();
+        Format.printf "@.== per-phase aggregate ==@.%a" Obs.Export.pp_aggregate ()
+      end
+    in
+    at_exit finish;
+    f ()
+  end
+
 (* -- commands --------------------------------------------------------------- *)
 
 let models_cmd =
@@ -158,7 +196,8 @@ let compile_cmd =
   let no_validate =
     Arg.(value & flag & info [ "no-validate" ] ~doc:"Skip validation (view generation only).")
   in
-  let run name file size no_validate output =
+  let run name file size no_validate output trace profile =
+    with_obs ~trace ~profile @@ fun () ->
     let env, frags, _ = load_input ~model:name ~file ~size in
     let what = match name, file with Some n, _ -> n | _, Some f -> f | _ -> "?" in
     Containment.Stats.reset ();
@@ -183,7 +222,8 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Run the full (baseline) mapping compiler on a model")
-    Term.(const run $ model_arg $ file_arg $ size_arg $ no_validate $ out_arg)
+    Term.(const run $ model_arg $ file_arg $ size_arg $ no_validate $ out_arg $ trace_arg
+          $ profile_arg)
 
 let evolve_cmd =
   let smo_name =
@@ -194,7 +234,8 @@ let evolve_cmd =
     Arg.(value & opt (some string) None
          & info [ "script" ] ~docv:"FILE.smo" ~doc:"Apply the SMO script from this file.")
   in
-  let run name file size smo_name script output =
+  let run name file size smo_name script output trace profile =
+    with_obs ~trace ~profile @@ fun () ->
     let env, frags, loaded = load_input ~model:name ~file ~size in
     let t0 = Unix.gettimeofday () in
     let st = state_of ~env ~frags loaded in
@@ -257,7 +298,8 @@ let evolve_cmd =
   in
   Cmd.v
     (Cmd.info "evolve" ~doc:"Apply SMOs (a built-in suite or a script file) incrementally")
-    Term.(const run $ model_arg $ file_arg $ size_arg $ smo_name $ script_arg $ out_arg)
+    Term.(const run $ model_arg $ file_arg $ size_arg $ smo_name $ script_arg $ out_arg
+          $ trace_arg $ profile_arg)
 
 let roundtrip_cmd =
   let samples =
@@ -340,7 +382,8 @@ let dml_cmd =
     Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ script_arg)
 
 let validate_cmd =
-  let run name file size =
+  let run name file size trace profile =
+    with_obs ~trace ~profile @@ fun () ->
     let env, frags, loaded = load_input ~model:name ~file ~size in
     let st = state_of ~env ~frags loaded in
     Containment.Stats.reset ();
@@ -358,7 +401,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Run full mapping validation (roundtripping safety checks)")
-    Term.(const run $ model_arg $ file_arg $ size_arg)
+    Term.(const run $ model_arg $ file_arg $ size_arg $ trace_arg $ profile_arg)
 
 let diff_cmd =
   let target_arg =

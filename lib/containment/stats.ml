@@ -1,3 +1,7 @@
+(* The counters live in the Obs metric registry (named "containment.*") so
+   traces and bench exports see them; this module remains the typed façade
+   the rest of the compiler reads. *)
+
 type snapshot = {
   checks : int;
   cq_pairs : int;
@@ -6,22 +10,24 @@ type snapshot = {
   cache_hits : int;
 }
 
-let checks = ref 0
-let cq_pairs = ref 0
-let hom_steps = ref 0
-let approximate_checks = ref 0
-let cache_hits = ref 0
+let checks = Obs.Metric.counter "containment.checks"
+let cq_pairs = Obs.Metric.counter "containment.cq_pairs"
+let hom_steps = Obs.Metric.counter "containment.hom_steps"
+let approximate_checks = Obs.Metric.counter "containment.approximate_checks"
+let cache_hits = Obs.Metric.counter "containment.cache_hits"
 
 let reset () =
-  checks := 0;
-  cq_pairs := 0;
-  hom_steps := 0;
-  approximate_checks := 0;
-  cache_hits := 0
+  List.iter Obs.Metric.reset_counter
+    [ checks; cq_pairs; hom_steps; approximate_checks; cache_hits ]
 
 let read () =
-  { checks = !checks; cq_pairs = !cq_pairs; hom_steps = !hom_steps;
-    approximate_checks = !approximate_checks; cache_hits = !cache_hits }
+  {
+    checks = Obs.Metric.value checks;
+    cq_pairs = Obs.Metric.value cq_pairs;
+    hom_steps = Obs.Metric.value hom_steps;
+    approximate_checks = Obs.Metric.value approximate_checks;
+    cache_hits = Obs.Metric.value cache_hits;
+  }
 
 let diff before after =
   {
@@ -33,12 +39,12 @@ let diff before after =
   }
 
 let record_check ~approximate =
-  incr checks;
-  if approximate then incr approximate_checks
+  Obs.Metric.incr checks;
+  if approximate then Obs.Metric.incr approximate_checks
 
-let record_cq_pair () = incr cq_pairs
-let record_cache_hit () = incr cache_hits
-let record_hom_step () = incr hom_steps
+let record_cq_pair () = Obs.Metric.incr cq_pairs
+let record_cache_hit () = Obs.Metric.incr cache_hits
+let record_hom_step () = Obs.Metric.incr hom_steps
 
 let pp fmt s =
   Format.fprintf fmt "checks=%d cq_pairs=%d hom_steps=%d approx=%d cached=%d" s.checks s.cq_pairs

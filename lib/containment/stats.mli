@@ -3,7 +3,12 @@
     Validation cost in both compilers is dominated by containment checks
     (Section 4.2 of the paper observes "the majority of time spent on query
     containment checks"); these counters let the benchmark harness report
-    how many checks each compilation performed and how large they were. *)
+    how many checks each compilation performed and how large they were.
+
+    The counters are backed by the [Obs.Metric] registry (names
+    "containment.*"), so traces and bench exports see them too; this module
+    is the typed façade over that registry.  [reset] zeroes only the
+    containment counters, not the whole registry. *)
 
 type snapshot = {
   checks : int;               (** calls to [Check.subset] *)

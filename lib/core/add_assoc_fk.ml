@@ -71,6 +71,7 @@ let apply (st : State.t) ~assoc ~table ~fmap =
   in
   let env' = Query.Env.make ~client:client' ~store in
   let* () =
+    Algo.span "aa-fk.validate" @@ fun () ->
     let set1 = Option.get (Edm.Schema.set_of_type client' assoc.Edm.Association.end1) in
     let lhs =
       Query.Algebra.project_renamed (List.combine key1 f_pk1)
@@ -86,6 +87,7 @@ let apply (st : State.t) ~assoc ~table ~fmap =
   in
   (* Check 3: an existing foreign key out of f(PK2) must keep resolving. *)
   let* () =
+    Algo.span "aa-fk.validate" @@ fun () ->
     all_ok
       (fun (fk : Relational.Table.foreign_key) ->
         if not (List.exists (fun c -> List.mem c f_pk2) fk.fk_columns) then Ok ()
@@ -110,6 +112,7 @@ let apply (st : State.t) ~assoc ~table ~fmap =
       tbl.Relational.Table.fks
   in
   (* Fragment, query view, update view. *)
+  Algo.span "aa-fk.view-patch" @@ fun () ->
   let phi_a =
     Mapping.Fragment.assoc ~assoc:assoc.Edm.Association.name ~table
       ~store_cond:(Algo.not_null_conj f_pk2) fmap

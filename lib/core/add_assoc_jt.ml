@@ -70,35 +70,40 @@ let apply (st : State.t) ~assoc ~table ~fmap =
   in
   let env' = Query.Env.make ~client:client' ~store:store' in
   (* Fragment, views. *)
-  let phi_a = Mapping.Fragment.assoc ~assoc:assoc.Edm.Association.name ~table:table.Relational.Table.name fmap in
-  let fragments = Mapping.Fragments.add phi_a st.State.fragments in
-  let qa =
-    Query.Algebra.Project
-      ( List.map (fun (ac, c) -> Query.Algebra.col_as c ac) fmap,
-        Query.Algebra.Scan (Query.Algebra.Table table.Relational.Table.name) )
-  in
-  let query_views =
-    Query.View.set_assoc_view assoc.Edm.Association.name
-      { Query.View.query = qa; ctor = Query.Ctor.Tuple expected }
-      st.State.query_views
-  in
-  let qt =
-    Query.Algebra.Project
-      ( List.map (fun (ac, c) -> Query.Algebra.col_as ac c) fmap
-        @ List.filter_map
-            (fun c -> if List.mem c image then None else Some (Query.Algebra.null_as c))
-            (Relational.Table.column_names table),
-        Query.Algebra.Scan (Query.Algebra.Assoc_set assoc.Edm.Association.name) )
-  in
-  let update_views =
-    Query.View.set_table_view table.Relational.Table.name
-      { Query.View.query = qt; ctor = Query.Ctor.Tuple (Relational.Table.column_names table) }
-      st.State.update_views
+  let fragments, query_views, update_views =
+    Algo.span "aa-jt.view-patch" @@ fun () ->
+    let phi_a = Mapping.Fragment.assoc ~assoc:assoc.Edm.Association.name ~table:table.Relational.Table.name fmap in
+    let fragments = Mapping.Fragments.add phi_a st.State.fragments in
+    let qa =
+      Query.Algebra.Project
+        ( List.map (fun (ac, c) -> Query.Algebra.col_as c ac) fmap,
+          Query.Algebra.Scan (Query.Algebra.Table table.Relational.Table.name) )
+    in
+    let query_views =
+      Query.View.set_assoc_view assoc.Edm.Association.name
+        { Query.View.query = qa; ctor = Query.Ctor.Tuple expected }
+        st.State.query_views
+    in
+    let qt =
+      Query.Algebra.Project
+        ( List.map (fun (ac, c) -> Query.Algebra.col_as ac c) fmap
+          @ List.filter_map
+              (fun c -> if List.mem c image then None else Some (Query.Algebra.null_as c))
+              (Relational.Table.column_names table),
+          Query.Algebra.Scan (Query.Algebra.Assoc_set assoc.Edm.Association.name) )
+    in
+    let update_views =
+      Query.View.set_table_view table.Relational.Table.name
+        { Query.View.query = qt; ctor = Query.Ctor.Tuple (Relational.Table.column_names table) }
+        st.State.update_views
+    in
+    (fragments, query_views, update_views)
   in
   (* Validation: the join table's foreign keys must resolve under the new
      update views (endpoint inclusion is chased by the containment
      checker). *)
   let* () =
+    Algo.span "aa-jt.validate" @@ fun () ->
     all_ok
       (fun (fk : Relational.Table.foreign_key) ->
         Algo.fk_containment env' update_views ~table:table.Relational.Table.name fk)

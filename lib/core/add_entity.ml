@@ -272,9 +272,19 @@ let validate env' frags' uv' ~table ~fmap ~between =
     table.Relational.Table.fks
 
 let apply (st : State.t) ~entity ~alpha ~p_ref ~table ~fmap =
-  let* env' = check_preconditions st ~entity ~alpha ~p_ref ~table ~fmap in
-  let* qv', between = query_views st env' ~entity ~alpha ~p_ref ~table ~fmap in
-  let uv' = update_views st env' ~entity ~alpha ~p_ref ~table ~fmap ~between in
-  let frags' = fragments st env' ~entity ~p_ref ~table ~fmap ~between in
-  let* () = validate env' frags' uv' ~table ~fmap ~between in
+  let* env' =
+    Algo.span "ae.preconditions" (fun () ->
+        check_preconditions st ~entity ~alpha ~p_ref ~table ~fmap)
+  in
+  let* qv', between =
+    Algo.span "ae.query-views" (fun () -> query_views st env' ~entity ~alpha ~p_ref ~table ~fmap)
+  in
+  let uv' =
+    Algo.span "ae.update-views" (fun () ->
+        update_views st env' ~entity ~alpha ~p_ref ~table ~fmap ~between)
+  in
+  let frags' =
+    Algo.span "ae.fragments" (fun () -> fragments st env' ~entity ~p_ref ~table ~fmap ~between)
+  in
+  let* () = Algo.span "ae.validate" (fun () -> validate env' frags' uv' ~table ~fmap ~between) in
   Ok { State.env = env'; fragments = frags'; query_views = qv'; update_views = uv' }

@@ -120,6 +120,7 @@ let apply (st : State.t) ~entity ~p_ref ~parts =
     | Some p -> List.mem a (Edm.Schema.attribute_names client' p)
   in
   let* () =
+    Algo.span "aep.coverage" @@ fun () ->
     all_ok
       (fun a ->
         if covered_by_p a then Ok ()
@@ -172,6 +173,7 @@ let apply (st : State.t) ~entity ~p_ref ~parts =
      the 2^n checks of the AEP-np benchmarks — plus the association checks
      on intermediate types. *)
   let* () =
+    Algo.span "aep.validate" @@ fun () ->
     all_ok
       (fun pt ->
         all_ok

@@ -85,6 +85,7 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
      be free on T. *)
   let disc_cond = Query.Cond.Cmp (disc, Query.Cond.Eq, disc_value) in
   let* () =
+    Algo.span "ae-tph.validate" @@ fun () ->
     all_ok
       (fun (g : Mapping.Fragment.t) ->
         let overlap =
@@ -110,6 +111,7 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
   in
   (* Fragments: narrow the parent's reach, then add φ_E. *)
   let sigma_star =
+    Algo.span "ae-tph.fragments" @@ fun () ->
     Mapping.Fragments.map
       (fun f ->
         {
@@ -132,6 +134,7 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
   let q_tagged = Query.Algebra.Project (renamed @ [ Query.Algebra.tag te ], branch) in
   let flag = Query.Cond.Cmp (te, Query.Cond.Eq, Datum.Value.Bool true) in
   let* query_views =
+    Algo.span "ae-tph.query-views" @@ fun () ->
     List.fold_left
       (fun acc f ->
         let* acc = acc in
@@ -150,6 +153,7 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
   (* Update views: narrow the parent's reach everywhere, then union the new
      branch into T's view. *)
   let narrowed =
+    Algo.span "ae-tph.update-views" @@ fun () ->
     List.fold_left
       (fun acc (t, (v : Query.View.t)) ->
         let query =

@@ -113,7 +113,9 @@ let resolve_target (st : State.t) client' ~etype ~attr:(a, dom) = function
 
 let apply (st : State.t) ~etype ~attr:(a, dom) ~target =
   let* client' = Edm.Schema.add_attribute ~etype (a, dom) st.State.env.Query.Env.client in
-  let* store', table, column, key_pairs, mode = resolve_target st client' ~etype ~attr:(a, dom) target in
+  let* store', table, column, key_pairs, mode =
+    Algo.span "ap.preconditions" (fun () -> resolve_target st client' ~etype ~attr:(a, dom) target)
+  in
   let env' = Query.Env.make ~client:client' ~store:store' in
   let set = Option.get (Edm.Schema.set_of_type client' etype) in
   (* New fragment. *)
@@ -140,6 +142,7 @@ let apply (st : State.t) ~etype ~attr:(a, dom) ~target =
     | Query.Ctor.If (c, x, y) -> Query.Ctor.If (c, extend_ctor x, extend_ctor y)
   in
   let* query_views =
+    Algo.span "ap.query-views" @@ fun () ->
     List.fold_left
       (fun acc f ->
         let* acc = acc in
@@ -162,6 +165,7 @@ let apply (st : State.t) ~etype ~attr:(a, dom) ~target =
           (Query.Cond.Is_of etype, Query.Algebra.Scan (Query.Algebra.Entity_set set)) )
   in
   let* update_views =
+    Algo.span "ap.update-views" @@ fun () ->
     match mode with
     | `New tbl ->
         let pads =
@@ -200,6 +204,7 @@ let apply (st : State.t) ~etype ~attr:(a, dom) ~target =
   in
   (* Validation: foreign keys of a new property table. *)
   let* () =
+    Algo.span "ap.validate" @@ fun () ->
     match mode with
     | `Existing -> Ok ()
     | `New tbl ->

@@ -9,6 +9,10 @@ let rec all_ok f = function
 
 let tag_for etype = "_t" ^ etype
 
+(* Phase marker for the SMO algorithms: a named [Obs] span (free when
+   collection is disabled). *)
+let span ?attrs name f = Obs.Span.with_ ?attrs ~name f
+
 let align_union env l r =
   let lc = Query.Algebra.columns env l and rc = Query.Algebra.columns env r in
   let all = List.sort_uniq String.compare (lc @ rc) in
@@ -64,6 +68,7 @@ let adapt_cond client ~p_ref ~between ~e cond =
 let not_null_conj cols = Query.Cond.conj (List.map (fun c -> Query.Cond.Is_not_null c) cols)
 
 let fk_containment env uv ~table (fk : Relational.Table.foreign_key) =
+  span "algo.fk-containment" ~attrs:[ ("table", table); ("ref", fk.ref_table) ] @@ fun () ->
   match Query.View.table_view uv table, Query.View.table_view uv fk.ref_table with
   | None, _ -> fail "table %s has no update view" table
   | Some _, None ->
@@ -81,6 +86,7 @@ let fk_containment env uv ~table (fk : Relational.Table.foreign_key) =
           (String.concat "," fk.fk_columns) fk.ref_table
 
 let assoc_endpoint_checks env frags uv ~etypes =
+  span "algo.assoc-checks" @@ fun () ->
   let client = env.Query.Env.client in
   all_ok
     (fun etype ->
@@ -115,6 +121,7 @@ let assoc_endpoint_checks env frags uv ~etypes =
     etypes
 
 let recompile_set env frags ~set (st : State.t) =
+  span "algo.recompile-set" ~attrs:[ ("set", set) ] @@ fun () ->
   let* set_views = Fullc.Query_views.for_set env frags ~set in
   let touched_tables =
     List.sort_uniq String.compare

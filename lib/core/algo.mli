@@ -4,6 +4,11 @@ val tag_for : string -> string
 (** The fresh provenance attribute [t_E] of Algorithm 1, derived from the
     new entity type's name. *)
 
+val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Phase marker for the SMO algorithms: an [Obs.Span.with_] with the
+    argument order flipped for partial application.  Free when collection is
+    disabled. *)
+
 val align_union : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> Query.Algebra.t
 (** UNION ALL after padding each side's missing columns with [NULL] — how
     Algorithm 1's line 18 (and Fig. 2) reconciles branches with different

@@ -22,6 +22,7 @@ let apply (st : State.t) ~assoc =
   (* The table's update view regenerates from its remaining fragments; a
      pure join table loses its view. *)
   let* update_views =
+    Algo.span "drop-assoc.view-patch" @@ fun () ->
     match Mapping.Fragments.on_table fragments table with
     | [] -> Ok (Query.View.remove_table_view table st.State.update_views)
     | _ ->
@@ -31,6 +32,7 @@ let apply (st : State.t) ~assoc =
   let st' = { State.env = env'; fragments; query_views; update_views } in
   (* Safety: remaining foreign keys of the touched table still hold. *)
   let* () =
+    Algo.span "drop-assoc.fk-checks" @@ fun () ->
     match Relational.Schema.find_table env'.Query.Env.store table with
     | None -> Ok ()
     | Some tbl ->

@@ -31,6 +31,7 @@ let apply (st : State.t) ~etype =
   let* client' = Edm.Schema.remove_type etype client in
   let before_tables = Mapping.Fragments.tables st.State.fragments in
   let fragments =
+    Algo.span "drop-entity.fragments" @@ fun () ->
     Mapping.Fragments.to_list st.State.fragments
     |> List.filter_map (fun (f : Mapping.Fragment.t) ->
            let cond = erase_type ~e:etype f.Mapping.Fragment.client_cond in
@@ -57,6 +58,7 @@ let apply (st : State.t) ~etype =
          (Mapping.Fragments.of_set fragments set))
   in
   let* () =
+    Algo.span "drop-entity.fk-checks" @@ fun () ->
     all_ok
       (fun table ->
         match Relational.Schema.find_table env'.Query.Env.store table with

@@ -28,6 +28,7 @@ let apply (st : State.t) ~etype ~attr =
   let key = Edm.Schema.key_of client etype in
   let before_tables = Mapping.Fragments.tables st.State.fragments in
   let fragments =
+    Algo.span "drop-property.fragments" @@ fun () ->
     Mapping.Fragments.to_list st.State.fragments
     |> List.filter_map (fun (f : Mapping.Fragment.t) ->
            if
@@ -47,6 +48,7 @@ let apply (st : State.t) ~etype ~attr =
   let env' = Query.Env.make ~client:client' ~store:st.State.env.Query.Env.store in
   (* Every concrete type of the hierarchy must still be covered. *)
   let* () =
+    Algo.span "drop-property.coverage" @@ fun () ->
     all_ok
       (fun ty -> Mapping.Coverage.attribute_coverage env' fragments ~etype:ty)
       (Edm.Schema.subtypes client' (Edm.Schema.root_of client' etype))

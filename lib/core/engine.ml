@@ -1,4 +1,4 @@
-let apply st = function
+let dispatch st = function
   | Smo.Add_entity { entity; alpha; p_ref; table; fmap } ->
       Add_entity.apply st ~entity ~alpha ~p_ref ~table ~fmap
   | Smo.Add_entity_part { entity; p_ref; parts } -> Add_entity_part.apply st ~entity ~p_ref ~parts
@@ -13,6 +13,17 @@ let apply st = function
   | Smo.Widen_attribute { etype; attr; domain } -> Modify_facet.widen_attribute st ~etype ~attr domain
   | Smo.Set_multiplicity { assoc; mult } -> Modify_facet.set_multiplicity st ~assoc mult
   | Smo.Refactor { assoc } -> Refactor.apply st ~assoc
+
+(* One span per SMO, tagged with its kind — the unit of the paper's Fig. 9/10
+   timings and of the bench per-phase breakdown.  The attrs (notably
+   [Smo.show]) are only computed when collection is on. *)
+let apply st smo =
+  if not (Obs.enabled ()) then dispatch st smo
+  else
+    Obs.Span.with_
+      ~name:("smo:" ^ Smo.name smo)
+      ~attrs:[ ("kind", Smo.name smo); ("smo", Smo.show smo) ]
+      (fun () -> dispatch st smo)
 
 let apply_all st smos = List.fold_left (fun acc smo -> Result.bind acc (fun st -> apply st smo)) (Ok st) smos
 

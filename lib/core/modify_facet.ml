@@ -17,6 +17,7 @@ let widen_attribute (st : State.t) ~etype ~attr dom =
     | None -> fail "entity type %s belongs to no set" etype
   in
   let* () =
+    Algo.span "widen.domain-checks" @@ fun () ->
     all_ok
       (fun (f : Mapping.Fragment.t) ->
         match Mapping.Fragment.col_of f attr with
@@ -54,6 +55,7 @@ let set_multiplicity (st : State.t) ~assoc (m1, m2) =
     | None -> fail "unknown association %s" assoc
   in
   let* () =
+    Algo.span "mult.enforceability" @@ fun () ->
     if not (tightened a.Edm.Association.mult2 m2 || tightened a.Edm.Association.mult1 m1) then
       Ok ()
     else

@@ -69,6 +69,7 @@ let apply (st : State.t) ~assoc =
      association fragment disappears. *)
   let key_pairs = List.combine key1 f_pk1 in
   let fragments =
+    Algo.span "refactor.fragments" @@ fun () ->
     Mapping.Fragments.to_list st.State.fragments
     |> List.filter_map (fun (f : Mapping.Fragment.t) ->
            if Mapping.Fragment.equal f assoc_frag then None
@@ -96,6 +97,7 @@ let apply (st : State.t) ~assoc =
   in
   (* Coverage of the reparented subtree (inherited attributes included). *)
   let* () =
+    Algo.span "refactor.coverage" @@ fun () ->
     all_ok
       (fun ty -> Mapping.Coverage.attribute_coverage env' fragments ~etype:ty)
       (Edm.Schema.subtypes client' e2)
@@ -107,6 +109,7 @@ let apply (st : State.t) ~assoc =
   let* st' = Algo.recompile_set env' fragments ~set:set1 st' in
   (* Foreign keys of the subtree's table must keep resolving. *)
   let* () =
+    Algo.span "refactor.fk-checks" @@ fun () ->
     match Relational.Schema.find_table env'.Query.Env.store t2 with
     | None -> Ok ()
     | Some tbl ->

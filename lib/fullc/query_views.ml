@@ -55,7 +55,8 @@ let fused_query ?(optimize = false) env frags ~set =
   let tagged = List.map (fun (i, f) -> tagged_store_query key i f) ifr in
   let combined =
     if optimize then
-      Optimize.combine env ~key (List.map2 (fun (_, f) b -> (f, b)) ifr tagged)
+      Obs.Span.with_ ~name:"fullc.optimize" ~attrs:[ ("set", set) ] (fun () ->
+          Optimize.combine env ~key (List.map2 (fun (_, f) b -> (f, b)) ifr tagged))
     else
       match tagged with
       | [] -> assert false
@@ -118,6 +119,7 @@ let case_order client ifr types =
     types
 
 let for_set ?(optimize = false) env frags ~set =
+  Obs.Span.with_ ~name:"query-views.set" ~attrs:[ ("set", set) ] @@ fun () ->
   let client = env.Query.Env.client in
   let* root, ifr, fused = fused_query ~optimize env frags ~set in
   let types = Edm.Schema.subtypes client root in

@@ -33,6 +33,7 @@ let tagged_client_query key i (f : Mapping.Fragment.t) =
   Query.Algebra.Project (items, client_base f)
 
 let for_table ?(optimize = false) env frags ~table =
+  Obs.Span.with_ ~name:"update-views.table" ~attrs:[ ("table", table) ] @@ fun () ->
   let* tbl =
     match Relational.Schema.find_table env.Query.Env.store table with
     | Some tbl -> Ok tbl
@@ -58,7 +59,8 @@ let for_table ?(optimize = false) env frags ~table =
   let tagged = List.map (fun (i, f) -> tagged_client_query key i f) ifr in
   let combined =
     if optimize then
-      Optimize.combine env ~key (List.map2 (fun (_, f) b -> (f, b)) ifr tagged)
+      Obs.Span.with_ ~name:"fullc.optimize" ~attrs:[ ("table", table) ] (fun () ->
+          Optimize.combine env ~key (List.map2 (fun (_, f) b -> (f, b)) ifr tagged))
     else
       match tagged with
       | [] -> assert false

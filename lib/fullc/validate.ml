@@ -220,10 +220,12 @@ let nullability env frags =
         tbl.Relational.Table.columns)
     (Mapping.Fragments.tables frags)
 
+let phase name f = Obs.Span.with_ ~name:("validate." ^ name) f
+
 let run env frags uv =
-  let* () = Mapping.Fragments.well_formed env frags in
-  let* cells_visited = one_to_one env frags in
-  let* covered_types = coverage env frags in
-  let* () = nullability env frags in
-  let* containment_checks = fk_checks env frags uv in
+  let* () = phase "well-formed" (fun () -> Mapping.Fragments.well_formed env frags) in
+  let* cells_visited = phase "cells" (fun () -> one_to_one env frags) in
+  let* covered_types = phase "coverage" (fun () -> coverage env frags) in
+  let* () = phase "nullability" (fun () -> nullability env frags) in
+  let* containment_checks = phase "fk-checks" (fun () -> fk_checks env frags uv) in
   Ok { cells_visited; containment_checks; covered_types }

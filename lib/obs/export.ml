@@ -1,0 +1,123 @@
+(* -- pretty-printed span tree ---------------------------------------------- *)
+
+let pp_duration fmt s =
+  if Float.is_nan s then Format.fprintf fmt "   (open)"
+  else if s < 1e-3 then Format.fprintf fmt "%7.1fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf fmt "%7.2fms" (s *. 1e3)
+  else Format.fprintf fmt "%7.2fs " s
+
+let pp_attrs fmt = function
+  | [] -> ()
+  | attrs ->
+      Format.fprintf fmt "  [%s]"
+        (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))
+
+let rec pp_span depth fmt span =
+  Format.fprintf fmt "%s%-*s %a%a@."
+    (String.concat "" (List.init depth (fun _ -> "  ")))
+    (max 1 (36 - (2 * depth)))
+    (Span.name span) pp_duration (Span.duration_s span) pp_attrs (Span.attrs span);
+  List.iter (pp_span (depth + 1) fmt) (Span.children span)
+
+let pp_tree fmt () = List.iter (pp_span 0 fmt) (Span.roots ())
+
+(* -- aggregation by span name ---------------------------------------------- *)
+
+type agg = { count : int; total_s : float; self_s : float }
+
+let aggregate () =
+  let order = ref [] in
+  let tbl = Hashtbl.create 32 in
+  let add acc span =
+    let name = Span.name span in
+    (match Hashtbl.find_opt tbl name with
+    | None ->
+        order := name :: !order;
+        Hashtbl.add tbl name
+          { count = 1; total_s = Span.duration_s span; self_s = Span.self_s span }
+    | Some a ->
+        Hashtbl.replace tbl name
+          { count = a.count + 1; total_s = a.total_s +. Span.duration_s span;
+            self_s = a.self_s +. Span.self_s span });
+    acc
+  in
+  Span.fold_all add ();
+  List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
+
+let pp_aggregate fmt () =
+  Format.fprintf fmt "%-36s %8s %10s %10s@." "phase" "count" "total" "self";
+  List.iter
+    (fun (name, a) ->
+      Format.fprintf fmt "%-36s %8d  %a  %a@." name a.count pp_duration a.total_s pp_duration
+        a.self_s)
+    (aggregate ())
+
+(* -- Chrome trace_event JSON ------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Complete ("ph":"X") events; ts/dur in microseconds, rebased to the first
+   span so the numbers stay readable in about:tracing / Perfetto. *)
+let trace_json ?(process = "imc") () =
+  let roots = Span.roots () in
+  let t0 = match roots with [] -> 0. | s :: _ -> Span.start_s s in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit span =
+    if not !first then Buffer.add_string b ",";
+    first := false;
+    Buffer.add_string b
+      (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"imc\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":1"
+         (json_escape (Span.name span))
+         ((Span.start_s span -. t0) *. 1e6)
+         (Span.duration_s span *. 1e6));
+    (match Span.attrs span with
+    | [] -> ()
+    | attrs ->
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ",";
+            Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          attrs;
+        Buffer.add_string b "}");
+    Buffer.add_string b "}"
+  in
+  Span.fold_all (fun () span -> emit span) ();
+  Buffer.add_string b
+    (Printf.sprintf "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"process\":\"%s\"}}"
+       (json_escape process));
+  Buffer.contents b
+
+(* -- flat CSV (BENCH ingestion) --------------------------------------------- *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "phase,count,total_ms,self_ms,mean_ms\n";
+  List.iter
+    (fun (name, a) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%.3f,%.3f,%.3f\n" (csv_escape name) a.count (a.total_s *. 1e3)
+           (a.self_s *. 1e3)
+           (a.total_s *. 1e3 /. float_of_int a.count)))
+    (aggregate ());
+  Buffer.contents b

@@ -1,0 +1,20 @@
+(** Exporters over the completed spans of {!Span}. *)
+
+(** Indented tree of every completed root: name, duration, attributes. *)
+val pp_tree : Format.formatter -> unit -> unit
+
+type agg = { count : int; total_s : float; self_s : float }
+
+(** Roll-up by span name over all completed spans, in order of first
+    appearance. *)
+val aggregate : unit -> (string * agg) list
+
+(** The roll-up as a phase/count/total/self table. *)
+val pp_aggregate : Format.formatter -> unit -> unit
+
+(** Chrome [trace_event] JSON (complete "X" events, microsecond timestamps
+    rebased to the first span) — loadable in about:tracing or Perfetto. *)
+val trace_json : ?process:string -> unit -> string
+
+(** Flat roll-up as [phase,count,total_ms,self_ms,mean_ms] CSV. *)
+val csv : unit -> string

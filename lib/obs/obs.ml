@@ -1,0 +1,12 @@
+module Switch = Switch
+module Span = Span
+module Metric = Metric
+module Export = Export
+
+let enable = Switch.enable
+let disable = Switch.disable
+let enabled = Switch.enabled
+
+let reset () =
+  Span.reset ();
+  Metric.reset ()

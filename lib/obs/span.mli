@@ -1,0 +1,37 @@
+(** Hierarchical timing spans.
+
+    [with_ ~name f] times [f] and records the span under the currently open
+    span of the same domain (or as a new root).  Collection is gated by
+    {!Switch}: when disabled, [with_] is [f ()] — no span is allocated.
+    Completed roots accumulate in a shared, mutex-protected buffer until
+    {!reset}; open-span stacks are domain-local. *)
+
+type t
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span (no-op when collection is
+    disabled or no span is open). *)
+val add_attr : string -> string -> unit
+
+(** Completed top-level spans, oldest first. *)
+val roots : unit -> t list
+
+(** Drop all completed spans and any open stack of the calling domain. *)
+val reset : unit -> unit
+
+val name : t -> string
+val attrs : t -> (string * string) list
+val children : t -> t list
+val start_s : t -> float
+val finish_s : t -> float
+val duration_s : t -> float
+
+(** Duration minus the summed durations of direct children. *)
+val self_s : t -> float
+
+(** Pre-order fold over a span and its descendants. *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** [fold] over every completed root. *)
+val fold_all : ('a -> t -> 'a) -> 'a -> 'a

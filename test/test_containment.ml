@@ -154,6 +154,39 @@ let test_stats_counting () =
   checkb "checks counted" true (s.Containment.Stats.checks = 1);
   checkb "cq pairs explored" true (s.Containment.Stats.cq_pairs >= 1)
 
+let test_cache_correctness () =
+  (* Memoization must not change a single verdict, and a repeated pass over
+     the same checks must be answered from the cache. *)
+  let pairs =
+    List.concat_map (fun q1 -> List.map (fun q2 -> (q1, q2)) query_pool) query_pool
+  in
+  let verdicts () = List.map (fun (q1, q2) -> Containment.Check.subset env q1 q2) pairs in
+  let plain = verdicts () in
+  Containment.Check.set_caching true;
+  Containment.Check.clear_cache ();
+  Fun.protect
+    ~finally:(fun () ->
+      Containment.Check.set_caching false;
+      Containment.Check.clear_cache ())
+    (fun () ->
+      let same tag a b =
+        List.iteri
+          (fun i (x, y) ->
+            match x, y with
+            | Ok bx, Ok by ->
+                checkb (Printf.sprintf "%s: pair %d verdict" tag i) bx by
+            | Error _, Error _ -> ()
+            | _, _ -> Alcotest.failf "%s: pair %d changed outcome kind" tag i)
+          (List.combine a b)
+      in
+      let cached = verdicts () in
+      same "caching on vs off" plain cached;
+      Containment.Stats.reset ();
+      let again = verdicts () in
+      same "second cached pass" plain again;
+      let s = Containment.Stats.read () in
+      checkb "second pass hits the cache" true (s.Containment.Stats.cache_hits > 0))
+
 let () =
   Alcotest.run "containment"
     [
@@ -175,5 +208,9 @@ let () =
           Alcotest.test_case "paper example 6" `Quick test_example6_checks;
         ] );
       ( "properties",
-        [ prop_soundness; Alcotest.test_case "stats" `Quick test_stats_counting ] );
+        [
+          prop_soundness;
+          Alcotest.test_case "stats" `Quick test_stats_counting;
+          Alcotest.test_case "cache correctness" `Quick test_cache_correctness;
+        ] );
     ]

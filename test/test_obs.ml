@@ -1,0 +1,199 @@
+(* The observability layer itself: span nesting and timing, counter
+   snapshots, exporters, and the disabled-by-default guarantee. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let with_collection f =
+  Obs.Span.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+(* -- spans ----------------------------------------------------------------- *)
+
+let test_nesting () =
+  with_collection (fun () ->
+      Obs.Span.with_ ~name:"outer" (fun () ->
+          Obs.Span.with_ ~name:"inner-1" (fun () -> ());
+          Obs.Span.with_ ~name:"inner-2" ~attrs:[ ("k", "v") ] (fun () -> ())));
+  match Obs.Span.roots () with
+  | [ root ] ->
+      checks "root name" "outer" (Obs.Span.name root);
+      let kids = Obs.Span.children root in
+      checki "two children" 2 (List.length kids);
+      checks "child order" "inner-1" (Obs.Span.name (List.nth kids 0));
+      checks "child attrs" "v" (List.assoc "k" (Obs.Span.attrs (List.nth kids 1)))
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_timing_monotonic () =
+  with_collection (fun () ->
+      Obs.Span.with_ ~name:"outer" (fun () ->
+          Obs.Span.with_ ~name:"inner" (fun () -> ignore (Sys.opaque_identity (List.init 1000 Fun.id)))));
+  match Obs.Span.roots () with
+  | [ root ] ->
+      let inner = List.hd (Obs.Span.children root) in
+      checkb "root finishes after it starts" true
+        (Obs.Span.finish_s root >= Obs.Span.start_s root);
+      checkb "child within parent start" true (Obs.Span.start_s inner >= Obs.Span.start_s root);
+      checkb "child within parent finish" true
+        (Obs.Span.finish_s inner <= Obs.Span.finish_s root);
+      checkb "durations non-negative" true
+        (Obs.Span.duration_s root >= 0. && Obs.Span.duration_s inner >= 0.);
+      checkb "self time <= duration" true (Obs.Span.self_s root <= Obs.Span.duration_s root)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_exception_unwind () =
+  (* A raising workload must not leave spans open: the escaping span still
+     completes and later spans are roots, not its children. *)
+  with_collection (fun () ->
+      (try Obs.Span.with_ ~name:"boom" (fun () -> failwith "boom") with Failure _ -> ());
+      Obs.Span.with_ ~name:"after" (fun () -> ()));
+  let names = List.map Obs.Span.name (Obs.Span.roots ()) in
+  checkb "both spans are roots" true (names = [ "boom"; "after" ])
+
+let test_disabled_no_spans () =
+  Obs.Span.reset ();
+  checkb "collection off" false (Obs.enabled ());
+  Obs.Span.with_ ~name:"invisible" (fun () -> ());
+  checki "no spans recorded" 0 (List.length (Obs.Span.roots ()));
+  checki "fold_all sees nothing" 0 (Obs.Span.fold_all (fun n _ -> n + 1) 0)
+
+(* -- metrics ---------------------------------------------------------------- *)
+
+let test_counter_snapshot_diff () =
+  let c = Obs.Metric.counter "test.obs.counter" in
+  let g = Obs.Metric.gauge "test.obs.gauge" in
+  Obs.Metric.reset_counter c;
+  Obs.Metric.incr c;
+  Obs.Metric.incr ~by:4 c;
+  checki "counter value" 5 (Obs.Metric.value c);
+  Obs.Metric.set g 2.5;
+  let before = Obs.Metric.snapshot () in
+  Obs.Metric.incr ~by:7 c;
+  Obs.Metric.set g 4.0;
+  let after = Obs.Metric.snapshot () in
+  let d = Obs.Metric.diff before after in
+  checki "diff is the delta" 7 (List.assoc "test.obs.counter" d.Obs.Metric.counters);
+  checkb "gauge keeps the after level" true
+    (List.assoc "test.obs.gauge" d.Obs.Metric.gauges = 4.0);
+  checkb "registration is idempotent" true
+    (Obs.Metric.value (Obs.Metric.counter "test.obs.counter") = 12);
+  Obs.Metric.reset_counter c
+
+let test_counters_live_when_disabled () =
+  checkb "collection off" false (Obs.enabled ());
+  let c = Obs.Metric.counter "test.obs.live" in
+  Obs.Metric.reset_counter c;
+  Obs.Metric.incr c;
+  checki "counter counts with spans off" 1 (Obs.Metric.value c);
+  Obs.Metric.reset_counter c
+
+(* -- exporters --------------------------------------------------------------- *)
+
+(* A JSON validator sufficient for the trace_event output. *)
+let rec skip_ws s i = if i < String.length s && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t') then skip_ws s (i + 1) else i
+
+let rec parse_value s i =
+  let i = skip_ws s i in
+  if i >= String.length s then failwith "eof"
+  else
+    match s.[i] with
+    | '{' -> parse_members s (skip_ws s (i + 1)) true
+    | '[' -> parse_elements s (skip_ws s (i + 1)) true
+    | '"' -> parse_string s (i + 1)
+    | 't' -> i + 4
+    | 'f' -> i + 5
+    | 'n' -> i + 4
+    | _ ->
+        let j = ref i in
+        while
+          !j < String.length s
+          && (match s.[!j] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+        do
+          incr j
+        done;
+        if !j = i then failwith "bad value" else !j
+
+and parse_string s i =
+  if i >= String.length s then failwith "eof in string"
+  else if s.[i] = '"' then i + 1
+  else if s.[i] = '\\' then parse_string s (i + 2)
+  else parse_string s (i + 1)
+
+and parse_members s i first =
+  let i = skip_ws s i in
+  if i < String.length s && s.[i] = '}' then i + 1
+  else
+    let i = if first then i else if s.[i] = ',' then skip_ws s (i + 1) else failwith "expected ," in
+    if s.[i] <> '"' then failwith "expected key";
+    let i = parse_string s (i + 1) in
+    let i = skip_ws s i in
+    if i >= String.length s || s.[i] <> ':' then failwith "expected :";
+    let i = parse_value s (i + 1) in
+    parse_members s i false
+
+and parse_elements s i first =
+  let i = skip_ws s i in
+  if i < String.length s && s.[i] = ']' then i + 1
+  else
+    let i = if first then i else if s.[i] = ',' then skip_ws s (i + 1) else failwith "expected ," in
+    let i = parse_value s i in
+    parse_elements s i false
+
+let json_valid s =
+  match parse_value s 0 with
+  | i -> skip_ws s i = String.length s
+  | exception Failure _ -> false
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_trace_json () =
+  with_collection (fun () ->
+      Obs.Span.with_ ~name:"phase-a" ~attrs:[ ("quote", "a\"b") ] (fun () ->
+          Obs.Span.with_ ~name:"phase-b" (fun () -> ())));
+  let json = Obs.Export.trace_json ~process:"test" () in
+  checkb "valid JSON" true (json_valid json);
+  checkb "has traceEvents" true (contains ~sub:"\"traceEvents\"" json);
+  checkb "complete events" true (contains ~sub:"\"ph\":\"X\"" json);
+  checkb "both spans exported" true
+    (contains ~sub:"\"phase-a\"" json && contains ~sub:"\"phase-b\"" json);
+  checkb "attribute quoting escaped" true (contains ~sub:"a\\\"b" json)
+
+let test_aggregate_and_csv () =
+  with_collection (fun () ->
+      Obs.Span.with_ ~name:"agg" (fun () -> ());
+      Obs.Span.with_ ~name:"agg" (fun () -> ()));
+  (match List.assoc_opt "agg" (Obs.Export.aggregate ()) with
+  | Some a ->
+      checki "aggregate count" 2 a.Obs.Export.count;
+      checkb "aggregate total covers both" true (a.Obs.Export.total_s >= 0.)
+  | None -> Alcotest.fail "missing aggregate row");
+  let csv = Obs.Export.csv () in
+  checkb "csv header" true (contains ~sub:"phase,count,total_ms,self_ms,mean_ms" csv);
+  checkb "csv row" true (contains ~sub:"agg,2," csv)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_nesting;
+          Alcotest.test_case "timing monotonicity" `Quick test_timing_monotonic;
+          Alcotest.test_case "exception unwind" `Quick test_exception_unwind;
+          Alcotest.test_case "disabled mode records nothing" `Quick test_disabled_no_spans;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "snapshot/diff round-trip" `Quick test_counter_snapshot_diff;
+          Alcotest.test_case "counters live when disabled" `Quick test_counters_live_when_disabled;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "trace_event JSON" `Quick test_trace_json;
+          Alcotest.test_case "aggregate and CSV" `Quick test_aggregate_and_csv;
+        ] );
+    ]

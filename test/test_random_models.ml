@@ -135,6 +135,125 @@ let test_evolution_on_random_models () =
                         Roundtrip.Check.pp_failure f))))
     (Lazy.force compiled)
 
+let test_differential_vs_fullc () =
+  (* Differential check of the incremental compiler: after an SMO pipeline
+     applied step by step, every surviving view must be equivalent to the
+     view a from-scratch full compilation of the final mapping produces.
+     [Containment.Check.equivalent] is the primary oracle; where its
+     conservative outer-join approximation cannot prove equivalence, the
+     views are compared by evaluation on sampled states instead. *)
+  let empirical env dbs tag q_inc q_full =
+    List.iter
+      (fun db ->
+        let rows q = List.sort_uniq Datum.Row.compare (Query.Eval.rows_set env db q) in
+        if not (List.equal Datum.Row.equal (rows q_inc) (rows q_full)) then
+          Alcotest.failf "%s: incremental and full views disagree" tag)
+      dbs
+  in
+  let equiv env dbs tag q_inc q_full =
+    (* Full-outer-join views are only approximated by the checker: proving
+       equivalence cannot succeed, and the DNF expansion is exponential —
+       go straight to the sampled-state comparison for those. *)
+    let has_foj q = match Fullc.Optimize.stats q with n, _, _ -> n > 0 in
+    if has_foj q_inc || has_foj q_full then empirical env dbs tag q_inc q_full
+    else
+      match Containment.Check.equivalent env q_inc q_full with
+      | Ok true -> ()
+      | Ok false | Error _ -> empirical env dbs tag q_inc q_full
+  in
+  List.iter
+    (fun (seed, env, frags, c) ->
+      let client = env.Query.Env.client in
+      match Edm.Schema.entity_sets client with
+      | [] -> ()
+      | (_, root) :: _ -> (
+          let st = Core.State.of_compiled env frags c in
+          match Modef.Style.key_carrier st.Core.State.env st.Core.State.fragments ~etype:root with
+          | None -> ()
+          | Some (ptable, _) ->
+              let entity =
+                Edm.Entity_type.derived ~name:"Fresh" ~parent:root [ ("FreshAttr", D.String) ]
+              in
+              let table =
+                Relational.Table.make ~name:"TFresh" ~key:[ "Id" ]
+                  ~fks:[ { Relational.Table.fk_columns = [ "Id" ]; ref_table = ptable;
+                           ref_columns = [ "Id" ] } ]
+                  [ ("Id", D.Int, `Not_null); ("FreshAttr", D.String, `Null) ]
+              in
+              (* The pipeline shape varies with the seed: grow, then widen
+                 with a property, then (sometimes) shrink again. *)
+              let pipeline =
+                [ Core.Smo.Add_entity
+                    { entity; alpha = [ "Id"; "FreshAttr" ]; p_ref = Some root; table;
+                      fmap = [ ("Id", "Id"); ("FreshAttr", "FreshAttr") ] } ]
+                @ (if seed mod 2 = 0 then
+                     [ Core.Smo.Add_property
+                         { etype = "Fresh"; attr = ("FreshExtra", D.Int);
+                           target =
+                             Core.Add_property.To_existing_table
+                               { table = "TFresh"; column = "FreshExtra" } } ]
+                   else [])
+                @ if seed mod 3 = 0 then
+                    [ Core.Smo.Drop_property { etype = "Fresh"; attr = "FreshAttr" } ]
+                  else []
+              in
+              (match Core.Engine.apply_all st pipeline with
+              | Error _ -> () (* some random neighborhoods rightly refuse *)
+              | Ok st' -> (
+                  let env' = st'.Core.State.env in
+                  match Fullc.Compile.compile env' st'.Core.State.fragments with
+                  | Error e -> Alcotest.failf "seed %d: full compile of evolved mapping: %s" seed e
+                  | Ok full ->
+                      let insts =
+                        List.init 4 (fun i ->
+                            Roundtrip.Generate.instance ~seed:((seed * 913) + i)
+                              env'.Query.Env.client)
+                      in
+                      let client_dbs = List.map Query.Eval.client_db insts in
+                      let store_dbs =
+                        List.map
+                          (fun inst ->
+                            Query.Eval.store_db
+                              (ok_exn
+                                 (Query.View.apply_update_views env'
+                                    full.Fullc.Compile.update_views inst)))
+                          insts
+                      in
+                      (* Query views read the store; compare them projected
+                         onto the entity's attributes (the two compilers
+                         differ in their internal tag columns). *)
+                      List.iter
+                        (fun (e, (v : Query.View.t)) ->
+                          match Query.View.entity_view st'.Core.State.query_views e with
+                          | None -> Alcotest.failf "seed %d: no incremental view for %s" seed e
+                          | Some vi ->
+                              let atts = Edm.Schema.attribute_names env'.Query.Env.client e in
+                              equiv env' store_dbs
+                                (Printf.sprintf "seed %d entity %s" seed e)
+                                (Query.Algebra.project_cols atts vi.Query.View.query)
+                                (Query.Algebra.project_cols atts v.Query.View.query))
+                        (Query.View.entity_view_bindings full.Fullc.Compile.query_views);
+                      List.iter
+                        (fun (a, (v : Query.View.t)) ->
+                          match Query.View.assoc_view st'.Core.State.query_views a with
+                          | None -> Alcotest.failf "seed %d: no incremental assoc view for %s" seed a
+                          | Some vi ->
+                              equiv env' store_dbs
+                                (Printf.sprintf "seed %d assoc %s" seed a)
+                                vi.Query.View.query v.Query.View.query)
+                        (Query.View.assoc_view_bindings full.Fullc.Compile.query_views);
+                      (* Update views read the client state. *)
+                      List.iter
+                        (fun (t, (v : Query.View.t)) ->
+                          match Query.View.table_view st'.Core.State.update_views t with
+                          | None -> Alcotest.failf "seed %d: no incremental update view for %s" seed t
+                          | Some vi ->
+                              equiv env' client_dbs
+                                (Printf.sprintf "seed %d table %s" seed t)
+                                vi.Query.View.query v.Query.View.query)
+                        (Query.View.update_view_bindings full.Fullc.Compile.update_views)))))
+    (Lazy.force compiled)
+
 let () =
   Alcotest.run "random models"
     [
@@ -148,5 +267,6 @@ let () =
           Alcotest.test_case "state io" `Quick test_state_io_roundtrip;
           Alcotest.test_case "DSL roundtrip" `Quick test_dsl_roundtrip;
           Alcotest.test_case "evolution" `Quick test_evolution_on_random_models;
+          Alcotest.test_case "differential vs full compiler" `Quick test_differential_vs_fullc;
         ] );
     ]
