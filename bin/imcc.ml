@@ -113,13 +113,21 @@ let load_input ~model ~file ~size =
       Printf.eprintf "error: pass -m MODEL or -f FILE\n";
       exit 1
 
-let state_of ~env ~frags = function
+let state_of ?jobs ~env ~frags = function
   | Some st -> st
-  | None -> Core.State.of_compiled env frags (ok (Fullc.Compile.compile env frags))
+  | None -> Core.State.of_compiled env frags (ok (Fullc.Compile.compile ?jobs env frags))
 
 let size_arg =
   let doc = "Size parameter for scalable models (the chain's type count)." in
   Arg.(value & opt int 100 & info [ "size" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Discharge containment obligations on $(docv) domains.  Verdicts and failure \
+     messages are identical for every value; only wall-clock changes.  Defaults to \
+     the IMC_JOBS environment variable, or 1."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* -- observability ---------------------------------------------------------- *)
 
@@ -196,13 +204,13 @@ let compile_cmd =
   let no_validate =
     Arg.(value & flag & info [ "no-validate" ] ~doc:"Skip validation (view generation only).")
   in
-  let run name file size no_validate output trace profile =
+  let run name file size no_validate jobs output trace profile =
     with_obs ~trace ~profile @@ fun () ->
     let env, frags, _ = load_input ~model:name ~file ~size in
     let what = match name, file with Some n, _ -> n | _, Some f -> f | _ -> "?" in
     Containment.Stats.reset ();
     let t0 = Unix.gettimeofday () in
-    let c = ok (Fullc.Compile.compile ~validate:(not no_validate) env frags) in
+    let c = ok (Fullc.Compile.compile ~validate:(not no_validate) ?jobs env frags) in
     let dt = Unix.gettimeofday () -. t0 in
     Printf.printf "full compilation of %s: %.3fs\n" what dt;
     Printf.printf "  fragments:          %d\n" (Mapping.Fragments.size frags);
@@ -222,8 +230,8 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Run the full (baseline) mapping compiler on a model")
-    Term.(const run $ model_arg $ file_arg $ size_arg $ no_validate $ out_arg $ trace_arg
-          $ profile_arg)
+    Term.(const run $ model_arg $ file_arg $ size_arg $ no_validate $ jobs_arg $ out_arg
+          $ trace_arg $ profile_arg)
 
 let evolve_cmd =
   let smo_name =
@@ -234,11 +242,11 @@ let evolve_cmd =
     Arg.(value & opt (some string) None
          & info [ "script" ] ~docv:"FILE.smo" ~doc:"Apply the SMO script from this file.")
   in
-  let run name file size smo_name script output trace profile =
+  let run name file size smo_name script jobs output trace profile =
     with_obs ~trace ~profile @@ fun () ->
     let env, frags, loaded = load_input ~model:name ~file ~size in
     let t0 = Unix.gettimeofday () in
-    let st = state_of ~env ~frags loaded in
+    let st = state_of ?jobs ~env ~frags loaded in
     (match loaded with
     | Some _ -> Printf.printf "resumed compiled state\n\n"
     | None -> Printf.printf "bootstrap (full compilation): %.3fs\n\n" (Unix.gettimeofday () -. t0));
@@ -249,14 +257,15 @@ let evolve_cmd =
         let st =
           List.fold_left
             (fun st smo ->
-              match Core.Engine.apply_timed st smo with
+              match Core.Engine.apply_timed ?jobs st smo with
               | Ok (st', t) ->
                   Format.printf "%-10s %.2f ms   %a@." (Core.Smo.name smo)
                     (t.Core.Engine.seconds *. 1000.)
                     Containment.Stats.pp t.Core.Engine.containment;
                   st'
               | Error e ->
-                  Printf.eprintf "error: %s aborts: %s\n" (Core.Smo.show smo) e;
+                  Printf.eprintf "error: %s aborts: %s\n" (Core.Smo.show smo)
+                    (Containment.Validation_error.show e);
                   exit 1)
             st smos
         in
@@ -289,17 +298,19 @@ let evolve_cmd =
         end;
         List.iter
           (fun (label, smo) ->
-            match Core.Engine.apply_timed st smo with
+            match Core.Engine.apply_timed ?jobs st smo with
             | Ok (_, t) ->
                 Format.printf "%-10s %.2f ms   %a@." label (t.Core.Engine.seconds *. 1000.)
                   Containment.Stats.pp t.Core.Engine.containment
-            | Error e -> Printf.printf "%-10s aborts: %s\n" label e)
+            | Error e ->
+                Printf.printf "%-10s aborts: %s\n" label
+                  (Containment.Validation_error.show e))
           selected
   in
   Cmd.v
     (Cmd.info "evolve" ~doc:"Apply SMOs (a built-in suite or a script file) incrementally")
-    Term.(const run $ model_arg $ file_arg $ size_arg $ smo_name $ script_arg $ out_arg
-          $ trace_arg $ profile_arg)
+    Term.(const run $ model_arg $ file_arg $ size_arg $ smo_name $ script_arg $ jobs_arg
+          $ out_arg $ trace_arg $ profile_arg)
 
 let roundtrip_cmd =
   let samples =
@@ -382,13 +393,16 @@ let dml_cmd =
     Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ script_arg)
 
 let validate_cmd =
-  let run name file size trace profile =
+  let run name file size jobs trace profile =
     with_obs ~trace ~profile @@ fun () ->
     let env, frags, loaded = load_input ~model:name ~file ~size in
-    let st = state_of ~env ~frags loaded in
+    let st = state_of ?jobs ~env ~frags loaded in
     Containment.Stats.reset ();
     let t0 = Unix.gettimeofday () in
-    match Fullc.Validate.run st.Core.State.env st.Core.State.fragments st.Core.State.update_views with
+    match
+      Fullc.Validate.run ?jobs st.Core.State.env st.Core.State.fragments
+        st.Core.State.update_views
+    with
     | Error e ->
         Printf.printf "mapping INVALID: %s\n" e;
         exit 1
@@ -401,7 +415,7 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Run full mapping validation (roundtripping safety checks)")
-    Term.(const run $ model_arg $ file_arg $ size_arg $ trace_arg $ profile_arg)
+    Term.(const run $ model_arg $ file_arg $ size_arg $ jobs_arg $ trace_arg $ profile_arg)
 
 let diff_cmd =
   let target_arg =

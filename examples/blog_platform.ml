@@ -28,7 +28,7 @@ let step st label smo =
         (t.Core.Engine.seconds *. 1000.)
         t.Core.Engine.containment.Containment.Stats.checks;
       st'
-  | Error e -> failwith (label ^ ": " ^ e)
+  | Error e -> failwith (label ^ ": " ^ Containment.Validation_error.show e)
 
 let () =
   (* -- bootstrap -------------------------------------------------------- *)

@@ -14,6 +14,7 @@ module P = Workload.Paper_example
 module D = Datum.Domain
 
 let ok = function Ok x -> x | Error e -> failwith e
+let ok_v = function Ok x -> x | Error e -> failwith (Containment.Validation_error.show e)
 
 let () =
   let st = ok (Core.State.bootstrap P.stage2.P.env P.stage2.P.fragments) in
@@ -47,7 +48,7 @@ let () =
     Modef.Style.pp detected;
 
   (* Incremental compilation of the whole batch. *)
-  let st' = ok (Core.Engine.apply_all st smos) in
+  let st' = ok_v (Core.Engine.apply_all st smos) in
   Format.printf "evolved store schema:@.%a@.@." Relational.Schema.pp
     st'.Core.State.env.Query.Env.store;
 

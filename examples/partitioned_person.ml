@@ -15,6 +15,7 @@ module T = Relational.Table
 module C = Query.Cond
 
 let ok = function Ok x -> x | Error e -> failwith e
+let ok_v = function Ok x -> x | Error e -> failwith (Containment.Validation_error.show e)
 
 let base () =
   let client =
@@ -66,8 +67,10 @@ let () =
   (* A gapped partitioning must abort: ages in [10, 18) would be lost. *)
   (match Core.Engine.apply st (adult_young ~young_bound:10) with
   | Ok _ -> print_endline "BUG: the gapped mapping was accepted"
-  | Error e -> Printf.printf "gapped partitioning rejected, as it must be:\n  %s\n\n%!" e);
-  let st = ok (Core.Engine.apply st (adult_young ~young_bound:18)) in
+  | Error e ->
+      Printf.printf "gapped partitioning rejected, as it must be:\n  %s\n\n%!"
+        (Containment.Validation_error.show e));
+  let st = ok_v (Core.Engine.apply st (adult_young ~young_bound:18)) in
   print_endline "Person partitioned into Adult (age >= 18) / Young (age < 18):";
   Format.printf "%a@.@." Mapping.Fragments.pp st.Core.State.fragments;
   let people =
@@ -111,7 +114,7 @@ let () =
               [ ("Hid", "Hid"); ("CName", "CName") ];
           ] }
   in
-  let st = ok (Core.Engine.apply st smo) in
+  let st = ok_v (Core.Engine.apply st smo) in
   print_endline "gender example: Gender is covered because (M ∨ F) is a tautology over the";
   print_endline "closed M/F domain, even though no table stores it. Query view of Humans:";
   Format.printf "%a@.@." Query.Pretty.view

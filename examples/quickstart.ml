@@ -14,6 +14,7 @@ module V = Datum.Value
 module T = Relational.Table
 
 let ok = function Ok x -> x | Error e -> failwith e
+let ok_v = function Ok x -> x | Error e -> failwith (Containment.Validation_error.show e)
 
 let () =
   (* -- 1. the initial model ------------------------------------------- *)
@@ -52,7 +53,7 @@ let () =
         ("Score", D.Int, `Null); ("Addr", D.String, `Null) ]
   in
   let st =
-    ok
+    ok_v
       (Core.Engine.apply_all st
          [
            Core.Smo.Add_entity

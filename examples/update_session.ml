@@ -12,6 +12,7 @@
    Run from the repository root: dune exec examples/update_session.exe *)
 
 let ok = function Ok x -> x | Error e -> failwith e
+let ok_v = function Ok x -> x | Error e -> failwith (Containment.Validation_error.show e)
 let read path = In_channel.with_open_text path In_channel.input_all
 
 let () =
@@ -25,7 +26,7 @@ let () =
   let script = ok (Surface.Parser.script (read "examples/models/paper_changes.smo")) in
   let smos = ok (Surface.Elaborate.script script) in
   let session =
-    List.fold_left (fun s smo -> ok (Core.Session.apply s smo)) session smos
+    List.fold_left (fun s smo -> ok_v (Core.Session.apply s smo)) session smos
   in
   let session = Core.Session.checkpoint ~name:"stage4" session in
   (* A change that cannot validate: TPC below an association endpoint
@@ -49,7 +50,8 @@ let () =
     match Core.Session.apply session vip_tpc with
     | Ok _ -> failwith "the Fig. 6 scenario should have aborted"
     | Error e ->
-        Printf.printf "rejected VIP-as-TPC, as Fig. 6 predicts:\n  %s\n" e;
+        Printf.printf "rejected VIP-as-TPC, as Fig. 6 predicts:\n  %s\n"
+          (Containment.Validation_error.show e);
         session
   in
   (* The TPT variant works; then we change our mind and undo it. *)
@@ -64,7 +66,7 @@ let () =
             [ ("Id", Datum.Domain.Int, `Not_null); ("Tier", Datum.Domain.String, `Null) ];
         fmap = [ ("Id", "Id"); ("Tier", "Tier") ] }
   in
-  let session = ok (Core.Session.apply session vip_tpt) in
+  let session = ok_v (Core.Session.apply session vip_tpt) in
   let session = Option.get (Core.Session.undo session) in
   Printf.printf "\nsession log:\n%s\n" (Core.Session.log session);
   let st = Core.Session.current session in

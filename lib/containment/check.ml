@@ -187,15 +187,29 @@ let chase_assoc env (cq : Nf.cq) =
 (* Verdicts depend on the schemas as well as the queries, so the memo key
    carries a canonical fingerprint of the environment.  The table is capped;
    overflowing clears it (validation workloads re-ask the same few checks,
-   so a simple policy suffices). *)
+   so a simple policy suffices).
 
-let caching = ref false
-let set_caching b = caching := b
+   The table is shared across the discharge engine's worker domains, so every
+   access goes through [memo_mutex]; the critical sections are tiny (a probe
+   or an insert) compared to the NP-hard proving work they bracket, so the
+   jobs=1 path pays only an uncontended lock. *)
+
+let caching = Atomic.make false
+let set_caching b = Atomic.set caching b
 
 let memo : (int * Query.Algebra.t * Query.Algebra.t, bool) Hashtbl.t = Hashtbl.create 256
 let memo_cap = 8192
+let memo_mutex = Mutex.create ()
 
-let clear_cache () = Hashtbl.reset memo
+let memo_find key =
+  Mutex.protect memo_mutex (fun () -> Hashtbl.find_opt memo key)
+
+let memo_add key verdict =
+  Mutex.protect memo_mutex (fun () ->
+      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+      Hashtbl.replace memo key verdict)
+
+let clear_cache () = Mutex.protect memo_mutex (fun () -> Hashtbl.reset memo)
 
 let env_fingerprint env =
   let client = env.Query.Env.client in
@@ -219,7 +233,7 @@ let subset env q1 q2 =
      fused. *)
   let q1 = Query.Simplify.query env q1 and q2 = Query.Simplify.query env q2 in
   let key = (env_fingerprint env, q1, q2) in
-  match if !caching then Hashtbl.find_opt memo key else None with
+  match if Atomic.get caching then memo_find key else None with
   | Some verdict ->
       Stats.record_cache_hit ();
       Ok verdict
@@ -232,14 +246,19 @@ let subset env q1 q2 =
   let cq1s = List.filter (fun (cq : Nf.cq) -> Nf.consistent cq.Nf.cons) cq1s in
   let cq2s = List.map canonicalize n2.Nf.cqs in
   let verdict = List.for_all (fun cq1 -> List.exists (fun cq2 -> homomorphism cq2 cq1) cq2s) cq1s in
-  if !caching then begin
-    if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
-    Hashtbl.replace memo key verdict
-  end;
+  if Atomic.get caching then memo_add key verdict;
   Ok verdict
 
 let equivalent env q1 q2 =
   let* a = subset env q1 q2 in
   if not a then Ok false else subset env q2 q1
 
-let holds env q1 q2 = match subset env q1 q2 with Ok b -> b | Error _ -> false
+(* Legacy entry point, now a thin wrapper over a one-element obligation batch
+   so the Stats/Obs accounting matches the discharge engine exactly.  New
+   call sites should emit [Obligation.t] values and batch them through
+   [Discharge.run] instead. *)
+let holds env q1 q2 =
+  Result.is_ok
+    (Obligation.discharge ~subset
+       (Obligation.make ~name:"check.holds" ~env ~lhs:q1 ~rhs:q2
+          ~on_fail:"containment not proven"))

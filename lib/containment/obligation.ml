@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  env : Query.Env.t;
+  lhs : Query.Algebra.t;
+  rhs : Query.Algebra.t;
+  on_fail : string;
+}
+
+let make ~name ~env ~lhs ~rhs ~on_fail = { name; env; lhs; rhs; on_fail }
+
+let name t = t.name
+let on_fail t = t.on_fail
+
+(* Every obligation — whether discharged sequentially, by a parallel worker,
+   or through the legacy [Check.holds] wrapper — funnels through here, so the
+   Stats/Obs accounting is uniform across all three paths.  A normalization
+   error counts as "not proven", mirroring the conservative collapse the
+   inline [Check.holds] call sites relied on. *)
+let discharge ~subset t =
+  Obs.Span.with_ ~name:"containment.obligation" ~attrs:[ ("obligation", t.name) ]
+  @@ fun () ->
+  Stats.record_obligation ();
+  match subset t.env t.lhs t.rhs with
+  | Ok true -> Ok ()
+  | Ok false | Error _ -> Error (Validation_error.of_obligation ~name:t.name t.on_fail)

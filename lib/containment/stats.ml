@@ -8,6 +8,7 @@ type snapshot = {
   hom_steps : int;
   approximate_checks : int;
   cache_hits : int;
+  obligations : int;
 }
 
 let checks = Obs.Metric.counter "containment.checks"
@@ -15,10 +16,11 @@ let cq_pairs = Obs.Metric.counter "containment.cq_pairs"
 let hom_steps = Obs.Metric.counter "containment.hom_steps"
 let approximate_checks = Obs.Metric.counter "containment.approximate_checks"
 let cache_hits = Obs.Metric.counter "containment.cache_hits"
+let obligations = Obs.Metric.counter "containment.obligations"
 
 let reset () =
   List.iter Obs.Metric.reset_counter
-    [ checks; cq_pairs; hom_steps; approximate_checks; cache_hits ]
+    [ checks; cq_pairs; hom_steps; approximate_checks; cache_hits; obligations ]
 
 let read () =
   {
@@ -27,6 +29,7 @@ let read () =
     hom_steps = Obs.Metric.value hom_steps;
     approximate_checks = Obs.Metric.value approximate_checks;
     cache_hits = Obs.Metric.value cache_hits;
+    obligations = Obs.Metric.value obligations;
   }
 
 let diff before after =
@@ -36,6 +39,7 @@ let diff before after =
     hom_steps = after.hom_steps - before.hom_steps;
     approximate_checks = after.approximate_checks - before.approximate_checks;
     cache_hits = after.cache_hits - before.cache_hits;
+    obligations = after.obligations - before.obligations;
   }
 
 let record_check ~approximate =
@@ -45,7 +49,8 @@ let record_check ~approximate =
 let record_cq_pair () = Obs.Metric.incr cq_pairs
 let record_cache_hit () = Obs.Metric.incr cache_hits
 let record_hom_step () = Obs.Metric.incr hom_steps
+let record_obligation () = Obs.Metric.incr obligations
 
 let pp fmt s =
-  Format.fprintf fmt "checks=%d cq_pairs=%d hom_steps=%d approx=%d cached=%d" s.checks s.cq_pairs
-    s.hom_steps s.approximate_checks s.cache_hits
+  Format.fprintf fmt "checks=%d cq_pairs=%d hom_steps=%d approx=%d cached=%d obligations=%d"
+    s.checks s.cq_pairs s.hom_steps s.approximate_checks s.cache_hits s.obligations

@@ -16,6 +16,7 @@ type snapshot = {
   hom_steps : int;            (** atom-matching steps explored *)
   approximate_checks : int;   (** checks that used outer-join approximations *)
   cache_hits : int;           (** checks answered from the memo table *)
+  obligations : int;          (** proof obligations discharged ({!Obligation}) *)
 }
 
 val reset : unit -> unit
@@ -27,4 +28,5 @@ val record_check : approximate:bool -> unit
 val record_cq_pair : unit -> unit
 val record_cache_hit : unit -> unit
 val record_hom_step : unit -> unit
+val record_obligation : unit -> unit
 val pp : Format.formatter -> snapshot -> unit

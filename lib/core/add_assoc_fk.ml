@@ -1,16 +1,11 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
-
-let apply (st : State.t) ~assoc ~table ~fmap =
+let apply ?jobs (st : State.t) ~assoc ~table ~fmap =
   let client = st.State.env.Query.Env.client in
   let store = st.State.env.Query.Env.store in
-  let* client' = Edm.Schema.add_association assoc client in
+  let* client' = Algo.lift (Edm.Schema.add_association assoc client) in
   let* () =
     match assoc.Edm.Association.mult2 with
     | Edm.Association.Many -> fail "AddAssocFK requires the %s endpoint to be at most one" assoc.Edm.Association.end2
@@ -70,7 +65,9 @@ let apply (st : State.t) ~assoc ~table ~fmap =
     | None -> fail "table %s has no update view" table
   in
   let env' = Query.Env.make ~client:client' ~store in
-  let* () =
+  (* Checks 2 and 3 reduce to containment: emit the obligations here,
+     discharge the batch below. *)
+  let check2 =
     Algo.span "aa-fk.validate" @@ fun () ->
     let set1 = Option.get (Edm.Schema.set_of_type client' assoc.Edm.Association.end1) in
     let lhs =
@@ -80,17 +77,19 @@ let apply (st : State.t) ~assoc ~table ~fmap =
             Query.Algebra.Scan (Query.Algebra.Entity_set set1)))
     in
     let rhs = Query.Algebra.project_cols f_pk1 prev_t.Query.View.query in
-    if Containment.Check.holds env' lhs rhs then Ok ()
-    else
-      fail "check 2 failed: %s endpoint keys cannot be stored in the key of %s"
-        assoc.Edm.Association.end1 table
+    Containment.Obligation.make
+      ~name:(Printf.sprintf "aa-fk.check-2:%s" assoc.Edm.Association.end1)
+      ~env:env' ~lhs ~rhs
+      ~on_fail:
+        (Printf.sprintf "check 2 failed: %s endpoint keys cannot be stored in the key of %s"
+           assoc.Edm.Association.end1 table)
   in
   (* Check 3: an existing foreign key out of f(PK2) must keep resolving. *)
-  let* () =
+  let* check3 =
     Algo.span "aa-fk.validate" @@ fun () ->
-    all_ok
+    Algo.collect
       (fun (fk : Relational.Table.foreign_key) ->
-        if not (List.exists (fun c -> List.mem c f_pk2) fk.fk_columns) then Ok ()
+        if not (List.exists (fun c -> List.mem c f_pk2) fk.fk_columns) then Ok []
         else if fk.fk_columns <> f_pk2 then
           fail "foreign key of %s only partially covers f(PK2)" table
         else
@@ -105,12 +104,21 @@ let apply (st : State.t) ~assoc ~table ~fmap =
                       Query.Algebra.Scan (Query.Algebra.Entity_set set2)))
               in
               let rhs = Query.Algebra.project_cols fk.ref_columns vt'.Query.View.query in
-              if Containment.Check.holds env' lhs rhs then Ok ()
-              else
-                fail "check 3 failed: foreign key %s(%s) -> %s would not be preserved" table
-                  (String.concat "," fk.fk_columns) fk.ref_table)
+              Ok
+                [
+                  Containment.Obligation.make
+                    ~name:
+                      (Printf.sprintf "aa-fk.check-3:%s(%s)" table
+                         (String.concat "," fk.fk_columns))
+                    ~env:env' ~lhs ~rhs
+                    ~on_fail:
+                      (Printf.sprintf
+                         "check 3 failed: foreign key %s(%s) -> %s would not be preserved" table
+                         (String.concat "," fk.fk_columns) fk.ref_table);
+                ])
       tbl.Relational.Table.fks
   in
+  let* () = Algo.discharge ?jobs (check2 :: check3) in
   (* Fragment, query view, update view. *)
   Algo.span "aa-fk.view-patch" @@ fun () ->
   let phi_a =

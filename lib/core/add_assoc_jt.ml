@@ -1,16 +1,11 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
-
-let apply (st : State.t) ~assoc ~table ~fmap =
+let apply ?jobs (st : State.t) ~assoc ~table ~fmap =
   let client = st.State.env.Query.Env.client in
   let store = st.State.env.Query.Env.store in
-  let* client' = Edm.Schema.add_association assoc client in
+  let* client' = Algo.lift (Edm.Schema.add_association assoc client) in
   let key1 = Edm.Schema.key_of client' assoc.Edm.Association.end1 in
   let key2 = Edm.Schema.key_of client' assoc.Edm.Association.end2 in
   let cols1 = List.map (Edm.Association.qualify ~etype:assoc.Edm.Association.end1) key1 in
@@ -60,7 +55,7 @@ let apply (st : State.t) ~assoc ~table ~fmap =
   in
   let* store' =
     match Relational.Schema.find_table store table.Relational.Table.name with
-    | None -> Relational.Schema.add_table table store
+    | None -> Algo.lift (Relational.Schema.add_table table store)
     | Some existing ->
         if not (Relational.Table.equal existing table) then
           fail "table %s already exists with a different definition" table.Relational.Table.name
@@ -102,11 +97,12 @@ let apply (st : State.t) ~assoc ~table ~fmap =
   (* Validation: the join table's foreign keys must resolve under the new
      update views (endpoint inclusion is chased by the containment
      checker). *)
-  let* () =
+  let* obls =
     Algo.span "aa-jt.validate" @@ fun () ->
-    all_ok
+    Algo.collect
       (fun (fk : Relational.Table.foreign_key) ->
-        Algo.fk_containment env' update_views ~table:table.Relational.Table.name fk)
+        Algo.fk_obligations env' update_views ~table:table.Relational.Table.name fk)
       table.Relational.Table.fks
   in
+  let* () = Algo.discharge ?jobs obls in
   Ok { State.env = env'; fragments; query_views; update_views }

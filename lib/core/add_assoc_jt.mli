@@ -9,10 +9,11 @@
     wherever the foreign keys point). *)
 
 val apply :
+  ?jobs:int ->
   State.t ->
   assoc:Edm.Association.t ->
   table:Relational.Table.t ->
   fmap:(string * string) list ->
-  (State.t, string) result
+  (State.t, Containment.Validation_error.t) result
 (** [fmap] maps the association's qualified key columns to columns of the
     (new) join table. *)

@@ -1,18 +1,13 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
-
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
 (* -- schema evolution and precondition checks ----------------------------- *)
 
 let check_preconditions (st : State.t) ~entity ~alpha ~p_ref ~table ~fmap =
   let client = st.State.env.Query.Env.client in
   let e = entity.Edm.Entity_type.name in
-  let* client' = Edm.Schema.add_derived entity client in
+  let* client' = Algo.lift (Edm.Schema.add_derived entity client) in
   let att_e = Edm.Schema.attribute_names client' e in
   let key = Edm.Schema.key_of client' e in
   let* () =
@@ -105,7 +100,7 @@ let check_preconditions (st : State.t) ~entity ~alpha ~p_ref ~table ~fmap =
   let store = st.State.env.Query.Env.store in
   let* store' =
     match Relational.Schema.find_table store table.Relational.Table.name with
-    | None -> Relational.Schema.add_table table store
+    | None -> Algo.lift (Relational.Schema.add_table table store)
     | Some existing ->
         if not (Relational.Table.equal existing table) then
           fail "table %s already exists with a different definition" table.Relational.Table.name
@@ -234,44 +229,49 @@ let fragments (st : State.t) env' ~entity ~p_ref ~table ~fmap ~between =
 
 (* -- validation (Section 3.1.4) --------------------------------------------- *)
 
-let validate env' frags' uv' ~table ~fmap ~between =
+(* Emit the obligations of Section 3.1.4's checks 1–3; the caller discharges
+   the batch. *)
+let validation_obligations env' frags' uv' ~table ~fmap ~between =
   let client' = env'.Query.Env.client in
   (* Check 1: associations with endpoints strictly between E and P. *)
-  let* () = Algo.assoc_endpoint_checks env' frags' uv' ~etypes:between in
+  let* check1 = Algo.assoc_endpoint_obligations env' frags' uv' ~etypes:between in
   (* Check 2: foreign keys of the association tables that share columns with
      the association image. *)
-  let* () =
-    all_ok
+  let* check2 =
+    Algo.collect
       (fun f_type ->
-        all_ok
+        Algo.collect
           (fun (a : Edm.Association.t) ->
             match Mapping.Fragments.of_assoc frags' a.Edm.Association.name with
-            | [] -> Ok ()
+            | [] -> Ok []
             | frag :: _ -> (
                 let r = frag.Mapping.Fragment.table in
                 match Relational.Schema.find_table env'.Query.Env.store r with
-                | None -> Ok ()
+                | None -> Ok []
                 | Some tbl ->
                     let beta = Mapping.Fragment.cols frag in
-                    all_ok
+                    Algo.collect
                       (fun (fk : Relational.Table.foreign_key) ->
                         if List.exists (fun c -> List.mem c beta) fk.fk_columns then
-                          Algo.fk_containment env' uv' ~table:r fk
-                        else Ok ())
+                          Algo.fk_obligations env' uv' ~table:r fk
+                        else Ok [])
                       tbl.Relational.Table.fks))
           (Edm.Schema.associations_on client' f_type))
       between
   in
   (* Check 3: foreign keys of T that intersect f(α). *)
   let f_alpha = List.map snd fmap in
-  all_ok
-    (fun (fk : Relational.Table.foreign_key) ->
-      if List.exists (fun c -> List.mem c f_alpha) fk.fk_columns then
-        Algo.fk_containment env' uv' ~table:table.Relational.Table.name fk
-      else Ok ())
-    table.Relational.Table.fks
+  let* check3 =
+    Algo.collect
+      (fun (fk : Relational.Table.foreign_key) ->
+        if List.exists (fun c -> List.mem c f_alpha) fk.fk_columns then
+          Algo.fk_obligations env' uv' ~table:table.Relational.Table.name fk
+        else Ok [])
+      table.Relational.Table.fks
+  in
+  Ok (check1 @ check2 @ check3)
 
-let apply (st : State.t) ~entity ~alpha ~p_ref ~table ~fmap =
+let apply ?jobs (st : State.t) ~entity ~alpha ~p_ref ~table ~fmap =
   let* env' =
     Algo.span "ae.preconditions" (fun () ->
         check_preconditions st ~entity ~alpha ~p_ref ~table ~fmap)
@@ -286,5 +286,9 @@ let apply (st : State.t) ~entity ~alpha ~p_ref ~table ~fmap =
   let frags' =
     Algo.span "ae.fragments" (fun () -> fragments st env' ~entity ~p_ref ~table ~fmap ~between)
   in
-  let* () = Algo.span "ae.validate" (fun () -> validate env' frags' uv' ~table ~fmap ~between) in
+  let* obls =
+    Algo.span "ae.validate" (fun () ->
+        validation_obligations env' frags' uv' ~table ~fmap ~between)
+  in
+  let* () = Algo.discharge ?jobs obls in
   Ok { State.env = env'; fragments = frags'; query_views = qv'; update_views = uv' }

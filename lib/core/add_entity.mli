@@ -11,7 +11,9 @@
       intermediate types);
     - fragment adaptation per Section 3.1.3 (Σ* plus φ_E);
     - validation per Section 3.1.4 (association-endpoint and foreign-key
-      containment checks over the new update views; aborts on failure).
+      containment checks over the new update views, emitted as one proof
+      obligation batch and discharged via {!Containment.Discharge}; aborts
+      on failure).
 
     TPT is [α = (att(E) ∖ att(E′)) ∪ PK_E, P = E′]; TPC is
     [α = att(E), P = NIL].
@@ -22,10 +24,11 @@
     a full recompilation, which this compiler signals by aborting. *)
 
 val apply :
+  ?jobs:int ->
   State.t ->
   entity:Edm.Entity_type.t ->
   alpha:string list ->
   p_ref:string option ->
   table:Relational.Table.t ->
   fmap:(string * string) list ->
-  (State.t, string) result
+  (State.t, Containment.Validation_error.t) result

@@ -6,13 +6,8 @@ type part = {
 }
 
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
-
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
 let check_part client' e part =
   let att_e = Edm.Schema.attribute_names client' e in
@@ -75,9 +70,9 @@ let check_part client' e part =
       else fail "column %s.%s is outside fᵢ(αᵢ) and must be nullable" tbl.Relational.Table.name c)
     (Relational.Table.column_names tbl)
 
-let apply (st : State.t) ~entity ~p_ref ~parts =
+let apply ?jobs (st : State.t) ~entity ~p_ref ~parts =
   let e = entity.Edm.Entity_type.name in
-  let* client' = Edm.Schema.add_derived entity st.State.env.Query.Env.client in
+  let* client' = Algo.lift (Edm.Schema.add_derived entity st.State.env.Query.Env.client) in
   let* () = match parts with [] -> fail "AddEntityPart needs at least one partition" | _ -> Ok () in
   let* () = all_ok (check_part client' e) parts in
   let* () =
@@ -98,7 +93,7 @@ let apply (st : State.t) ~entity ~p_ref ~parts =
       (fun acc pt ->
         let* store = acc in
         match Relational.Schema.find_table store pt.part_table.Relational.Table.name with
-        | None -> Relational.Schema.add_table pt.part_table store
+        | None -> Algo.lift (Relational.Schema.add_table pt.part_table store)
         | Some existing ->
             if not (Relational.Table.equal existing pt.part_table) then
               fail "table %s already exists with a different definition"
@@ -169,21 +164,22 @@ let apply (st : State.t) ~entity ~p_ref ~parts =
   in
   (* Views: regenerate the affected entity set (the neighborhood). *)
   let* st' = Algo.recompile_set env' fragments ~set { st with State.env = env' } in
-  (* Validation: one containment check per foreign key of each new table —
-     the 2^n checks of the AEP-np benchmarks — plus the association checks
-     on intermediate types. *)
-  let* () =
+  (* Validation: one containment obligation per foreign key of each new
+     table — the 2^n checks of the AEP-np benchmarks — plus the association
+     checks on intermediate types, discharged as one batch. *)
+  let* fk_obls =
     Algo.span "aep.validate" @@ fun () ->
-    all_ok
+    Algo.collect
       (fun pt ->
-        all_ok
+        Algo.collect
           (fun (fk : Relational.Table.foreign_key) ->
-            Algo.fk_containment env' st'.State.update_views
+            Algo.fk_obligations env' st'.State.update_views
               ~table:pt.part_table.Relational.Table.name fk)
           pt.part_table.Relational.Table.fks)
       parts
   in
-  let* () =
-    Algo.assoc_endpoint_checks env' fragments st'.State.update_views ~etypes:between
+  let* assoc_obls =
+    Algo.assoc_endpoint_obligations env' fragments st'.State.update_views ~etypes:between
   in
+  let* () = Algo.discharge ?jobs (fk_obls @ assoc_obls) in
   Ok st'

@@ -23,8 +23,9 @@ type part = {
 }
 
 val apply :
+  ?jobs:int ->
   State.t ->
   entity:Edm.Entity_type.t ->
   p_ref:string option ->
   parts:part list ->
-  (State.t, string) result
+  (State.t, Containment.Validation_error.t) result

@@ -1,11 +1,6 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
-
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
 (* Narrow [IS OF E'] so it no longer captures the new type [e]: the new
    type's rows live exclusively in its own discriminator region. *)
@@ -21,10 +16,10 @@ let narrow_parent client' ~parent ~e cond =
       | atom -> atom)
     cond
 
-let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) =
+let apply ?jobs (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) =
   let store = st.State.env.Query.Env.store in
   let e = entity.Edm.Entity_type.name in
-  let* client' = Edm.Schema.add_derived entity st.State.env.Query.Env.client in
+  let* client' = Algo.lift (Edm.Schema.add_derived entity st.State.env.Query.Env.client) in
   let* tbl =
     match Relational.Schema.find_table store table with
     | Some tbl -> Ok tbl
@@ -82,11 +77,12 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
   let parent = Option.get entity.Edm.Entity_type.parent in
   let set = Option.get (Edm.Schema.set_of_type client' e) in
   (* Validation (before committing views): the new discriminator region must
-     be free on T. *)
+     be free on T.  The overlap tests are emitted as obligations and
+     discharged as one batch before any view surgery. *)
   let disc_cond = Query.Cond.Cmp (disc, Query.Cond.Eq, disc_value) in
-  let* () =
+  let overlap_obls =
     Algo.span "ae-tph.validate" @@ fun () ->
-    all_ok
+    List.map
       (fun (g : Mapping.Fragment.t) ->
         let overlap =
           Query.Algebra.project_cols tbl.Relational.Table.key
@@ -98,10 +94,12 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
           Query.Algebra.project_cols tbl.Relational.Table.key
             (Query.Algebra.Select (Query.Cond.False, Query.Algebra.Scan (Query.Algebra.Table table)))
         in
-        if Containment.Check.holds env' overlap empty then Ok ()
-        else
-          fail "discriminator %s = %s overlaps the region of fragment %s" disc
-            (Datum.Value.show disc_value) (Mapping.Fragment.show g))
+        Containment.Obligation.make
+          ~name:(Printf.sprintf "ae-tph.overlap:%s" (Mapping.Fragment.show g))
+          ~env:env' ~lhs:overlap ~rhs:empty
+          ~on_fail:
+            (Printf.sprintf "discriminator %s = %s overlaps the region of fragment %s" disc
+               (Datum.Value.show disc_value) (Mapping.Fragment.show g)))
       (List.filter
          (fun (g : Mapping.Fragment.t) ->
            match g.Mapping.Fragment.client_source with
@@ -109,6 +107,7 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
            | Mapping.Fragment.Assoc _ -> false)
          (Mapping.Fragments.on_table st.State.fragments table))
   in
+  let* () = Algo.discharge ?jobs overlap_obls in
   (* Fragments: narrow the parent's reach, then add φ_E. *)
   let sigma_star =
     Algo.span "ae-tph.fragments" @@ fun () ->
@@ -213,16 +212,17 @@ let apply (st : State.t) ~entity ~table ~fmap ~discriminator:(disc, disc_value) 
   in
   (* Remaining validation: foreign keys of T touching f(att(E)), and
      associations on the ancestors (the new entities join their sets). *)
-  let* () =
-    all_ok
+  let* fk_obls =
+    Algo.collect
       (fun (fk : Relational.Table.foreign_key) ->
         if List.exists (fun c -> List.mem c image) fk.fk_columns then
-          Algo.fk_containment env' update_views ~table fk
-        else Ok ())
+          Algo.fk_obligations env' update_views ~table fk
+        else Ok [])
       tbl.Relational.Table.fks
   in
-  let* () =
-    Algo.assoc_endpoint_checks env' fragments update_views
+  let* assoc_obls =
+    Algo.assoc_endpoint_obligations env' fragments update_views
       ~etypes:(Edm.Schema.ancestors client' e)
   in
+  let* () = Algo.discharge ?jobs (fk_obls @ assoc_obls) in
   Ok { State.env = env'; fragments; query_views; update_views }

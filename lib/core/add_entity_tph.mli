@@ -14,10 +14,11 @@
     associations on ancestor types are re-checked by containment. *)
 
 val apply :
+  ?jobs:int ->
   State.t ->
   entity:Edm.Entity_type.t ->
   table:string ->
   fmap:(string * string) list ->
   discriminator:string * Datum.Value.t ->
-  (State.t, string) result
+  (State.t, Containment.Validation_error.t) result
 (** [fmap] maps all of [att(E)] to columns of the existing [table]. *)

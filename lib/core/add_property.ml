@@ -3,13 +3,8 @@ type target =
   | To_new_table of { table : Relational.Table.t; fmap : (string * string) list }
 
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
-
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
 (* Resolve the target into (store', table name, property column, key attr to
    key column pairs). *)
@@ -45,10 +40,11 @@ let resolve_target (st : State.t) client' ~etype ~attr:(a, dom) = function
       let* store' =
         match Relational.Table.column tbl column with
         | None ->
-            Relational.Schema.replace_table
-              (Relational.Table.add_column tbl
-                 { Relational.Table.cname = column; domain = dom; nullable = true })
-              store
+            Algo.lift
+              (Relational.Schema.replace_table
+                 (Relational.Table.add_column tbl
+                    { Relational.Table.cname = column; domain = dom; nullable = true })
+                 store)
         | Some col ->
             if Mapping.Fragments.column_used st.State.fragments ~table column then
               fail "column %s.%s is already used by the mapping" table column
@@ -99,7 +95,7 @@ let resolve_target (st : State.t) client' ~etype ~attr:(a, dom) = function
       in
       let* store' =
         match Relational.Schema.find_table store table.Relational.Table.name with
-        | None -> Relational.Schema.add_table table store
+        | None -> Algo.lift (Relational.Schema.add_table table store)
         | Some existing ->
             if not (Relational.Table.equal existing table) then
               fail "table %s already exists with a different definition"
@@ -111,8 +107,8 @@ let resolve_target (st : State.t) client' ~etype ~attr:(a, dom) = function
       in
       Ok (store', table.Relational.Table.name, column, key_pairs, `New table)
 
-let apply (st : State.t) ~etype ~attr:(a, dom) ~target =
-  let* client' = Edm.Schema.add_attribute ~etype (a, dom) st.State.env.Query.Env.client in
+let apply ?jobs (st : State.t) ~etype ~attr:(a, dom) ~target =
+  let* client' = Algo.lift (Edm.Schema.add_attribute ~etype (a, dom) st.State.env.Query.Env.client) in
   let* store', table, column, key_pairs, mode =
     Algo.span "ap.preconditions" (fun () -> resolve_target st client' ~etype ~attr:(a, dom) target)
   in
@@ -203,14 +199,15 @@ let apply (st : State.t) ~etype ~attr:(a, dom) ~target =
                  st.State.update_views))
   in
   (* Validation: foreign keys of a new property table. *)
-  let* () =
+  let* obls =
     Algo.span "ap.validate" @@ fun () ->
     match mode with
-    | `Existing -> Ok ()
+    | `Existing -> Ok []
     | `New tbl ->
-        all_ok
+        Algo.collect
           (fun (fk : Relational.Table.foreign_key) ->
-            Algo.fk_containment env' update_views ~table:tbl.Relational.Table.name fk)
+            Algo.fk_obligations env' update_views ~table:tbl.Relational.Table.name fk)
           tbl.Relational.Table.fks
   in
+  let* () = Algo.discharge ?jobs obls in
   Ok { State.env = env'; fragments; query_views; update_views }

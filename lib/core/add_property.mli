@@ -19,8 +19,9 @@ type target =
           table's columns; the key image must be the table key. *)
 
 val apply :
+  ?jobs:int ->
   State.t ->
   etype:string ->
   attr:string * Datum.Domain.t ->
   target:target ->
-  (State.t, string) result
+  (State.t, Containment.Validation_error.t) result

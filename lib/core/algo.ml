@@ -1,11 +1,31 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+module VE = Containment.Validation_error
+
+let fail fmt = VE.msgf fmt
+let lift r = VE.lift r
 
 let rec all_ok f = function
   | [] -> Ok ()
   | x :: rest ->
       let* () = f x in
       all_ok f rest
+
+(* Accumulate the obligation lists emitted per item, preserving emission
+   order — the discharge engine's failure reporting is defined in terms of
+   this order. *)
+let collect f xs =
+  let* groups =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        let* obls = f x in
+        Ok (obls :: acc))
+      (Ok []) xs
+  in
+  Ok (List.concat (List.rev groups))
+
+let discharge ?jobs obls = Containment.Discharge.run ?jobs obls
 
 let tag_for etype = "_t" ^ etype
 
@@ -67,7 +87,7 @@ let adapt_cond client ~p_ref ~between ~e cond =
 
 let not_null_conj cols = Query.Cond.conj (List.map (fun c -> Query.Cond.Is_not_null c) cols)
 
-let fk_containment env uv ~table (fk : Relational.Table.foreign_key) =
+let fk_obligations env uv ~table (fk : Relational.Table.foreign_key) =
   span "algo.fk-containment" ~attrs:[ ("table", table); ("ref", fk.ref_table) ] @@ fun () ->
   match Query.View.table_view uv table, Query.View.table_view uv fk.ref_table with
   | None, _ -> fail "table %s has no update view" table
@@ -80,20 +100,27 @@ let fk_containment env uv ~table (fk : Relational.Table.foreign_key) =
           (Query.Algebra.Select (not_null_conj fk.fk_columns, vt.Query.View.query))
       in
       let rhs = Query.Algebra.project_cols fk.ref_columns vt'.Query.View.query in
-      if Containment.Check.holds env lhs rhs then Ok ()
-      else
-        fail "incremental validation: update views may violate foreign key %s(%s) -> %s" table
-          (String.concat "," fk.fk_columns) fk.ref_table
+      let cols = String.concat "," fk.fk_columns in
+      Ok
+        [
+          Containment.Obligation.make
+            ~name:(Printf.sprintf "fk:%s(%s)->%s" table cols fk.ref_table)
+            ~env ~lhs ~rhs
+            ~on_fail:
+              (Printf.sprintf
+                 "incremental validation: update views may violate foreign key %s(%s) -> %s" table
+                 cols fk.ref_table);
+        ]
 
-let assoc_endpoint_checks env frags uv ~etypes =
+let assoc_endpoint_obligations env frags uv ~etypes =
   span "algo.assoc-checks" @@ fun () ->
   let client = env.Query.Env.client in
-  all_ok
+  collect
     (fun etype ->
-      all_ok
+      collect
         (fun (a : Edm.Association.t) ->
           match Mapping.Fragments.of_assoc frags a.Edm.Association.name with
-          | [] -> Ok ()
+          | [] -> Ok []
           | f :: _ -> (
               let key = Edm.Schema.key_of client etype in
               let end_cols = List.map (Edm.Association.qualify ~etype) key in
@@ -112,17 +139,24 @@ let assoc_endpoint_checks env frags uv ~etypes =
                         (Query.Algebra.Scan (Query.Algebra.Assoc_set a.Edm.Association.name))
                     in
                     let rhs = Query.Algebra.project_cols beta vr.Query.View.query in
-                    if Containment.Check.holds env lhs rhs then Ok ()
-                    else
-                      fail
-                        "incremental validation: association %s can no longer be stored in %s"
-                        a.Edm.Association.name f.Mapping.Fragment.table))
+                    Ok
+                      [
+                        Containment.Obligation.make
+                          ~name:
+                            (Printf.sprintf "assoc-endpoint:%s@%s" a.Edm.Association.name etype)
+                          ~env ~lhs ~rhs
+                          ~on_fail:
+                            (Printf.sprintf
+                               "incremental validation: association %s can no longer be stored \
+                                in %s"
+                               a.Edm.Association.name f.Mapping.Fragment.table);
+                      ]))
         (Edm.Schema.associations_on client etype))
     etypes
 
 let recompile_set env frags ~set (st : State.t) =
   span "algo.recompile-set" ~attrs:[ ("set", set) ] @@ fun () ->
-  let* set_views = Fullc.Query_views.for_set env frags ~set in
+  let* set_views = lift (Fullc.Query_views.for_set env frags ~set) in
   let touched_tables =
     List.sort_uniq String.compare
       (List.map (fun (f : Mapping.Fragment.t) -> f.Mapping.Fragment.table)
@@ -132,7 +166,7 @@ let recompile_set env frags ~set (st : State.t) =
     List.fold_left
       (fun acc table ->
         let* acc = acc in
-        let* v = Fullc.Update_views.for_table env frags ~table in
+        let* v = lift (Fullc.Update_views.for_table env frags ~table) in
         Ok (Query.View.set_table_view table v acc))
       (Ok st.State.update_views) touched_tables
   in

@@ -1,4 +1,30 @@
-(** Shared building blocks of the per-SMO incremental algorithms. *)
+(** Shared building blocks of the per-SMO incremental algorithms.
+
+    Validation is split into two phases: the algorithms {e emit} proof
+    obligations ([fk_obligations], [assoc_endpoint_obligations]) describing
+    the containments that must hold, then prove the collected batch with
+    [discharge] — sequentially or across domains.  Structural problems
+    (missing views, unmappable endpoints) are still immediate errors; only
+    the containment proofs are deferred. *)
+
+val fail : ('a, Format.formatter, unit, ('b, Containment.Validation_error.t) result) format4 -> 'a
+(** [Error] of a plain-message {!Containment.Validation_error.t}. *)
+
+val lift : ('a, string) result -> ('a, Containment.Validation_error.t) result
+(** Adapt a string-errored result (e.g. from [Fullc]) into the validation
+    error monad. *)
+
+val all_ok : ('a -> (unit, 'e) result) -> 'a list -> (unit, 'e) result
+
+val collect :
+  ('a -> ('b list, 'e) result) -> 'a list -> ('b list, 'e) result
+(** Concatenate the lists emitted per item, preserving emission order (the
+    order {!discharge} reports the first failure in). *)
+
+val discharge :
+  ?jobs:int -> Containment.Obligation.t list ->
+  (unit, Containment.Validation_error.t) result
+(** Prove a collected obligation batch — {!Containment.Discharge.run}. *)
 
 val tag_for : string -> string
 (** The fresh provenance attribute [t_E] of Algorithm 1, derived from the
@@ -31,23 +57,25 @@ val adapt_cond :
 
 val not_null_conj : string list -> Query.Cond.t
 
-val fk_containment :
+val fk_obligations :
   Query.Env.t -> Query.View.update_views -> table:string ->
-  Relational.Table.foreign_key -> (unit, string) result
-(** One foreign-key preservation test over update views (SQL simple-match
-    semantics: null references are exempt).  Proof failure is an error, as
-    the incremental compiler aborts on unprovable checks. *)
+  Relational.Table.foreign_key ->
+  (Containment.Obligation.t list, Containment.Validation_error.t) result
+(** The obligation for one foreign-key preservation test over update views
+    (SQL simple-match semantics: null references are exempt).  A missing
+    update view is an immediate structural error. *)
 
-val assoc_endpoint_checks :
+val assoc_endpoint_obligations :
   Query.Env.t -> Mapping.Fragments.t -> Query.View.update_views -> etypes:string list ->
-  (unit, string) result
-(** Check 1 of Section 3.1.4 for every association having one of the given
-    types as an endpoint: the association's endpoint keys must still be
-    storable in the table its fragment maps to, under the {e new} update
-    views. *)
+  (Containment.Obligation.t list, Containment.Validation_error.t) result
+(** Obligations for check 1 of Section 3.1.4, for every association having
+    one of the given types as an endpoint: the association's endpoint keys
+    must still be storable in the table its fragment maps to, under the
+    {e new} update views. *)
 
 val recompile_set :
-  Query.Env.t -> Mapping.Fragments.t -> set:string -> State.t -> (State.t, string) result
+  Query.Env.t -> Mapping.Fragments.t -> set:string -> State.t ->
+  (State.t, Containment.Validation_error.t) result
 (** Neighborhood recompilation: regenerate the query views of one entity
     set's hierarchy and the update views of the tables its fragments touch,
     leaving every other view untouched.  Used by the SMOs for which the

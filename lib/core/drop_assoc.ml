@@ -1,7 +1,7 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+let fail fmt = Algo.fail fmt
 
-let apply (st : State.t) ~assoc =
+let apply ?jobs (st : State.t) ~assoc =
   let client = st.State.env.Query.Env.client in
   let* _a =
     match Edm.Schema.find_association client assoc with
@@ -15,7 +15,7 @@ let apply (st : State.t) ~assoc =
     | _ -> fail "association %s has several mapping fragments" assoc
   in
   let table = frag.Mapping.Fragment.table in
-  let* client' = Edm.Schema.remove_association assoc client in
+  let* client' = Algo.lift (Edm.Schema.remove_association assoc client) in
   let env' = Query.Env.make ~client:client' ~store:st.State.env.Query.Env.store in
   let fragments = Mapping.Fragments.remove frag st.State.fragments in
   let query_views = Query.View.remove_assoc_view assoc st.State.query_views in
@@ -26,24 +26,24 @@ let apply (st : State.t) ~assoc =
     match Mapping.Fragments.on_table fragments table with
     | [] -> Ok (Query.View.remove_table_view table st.State.update_views)
     | _ ->
-        let* v = Fullc.Update_views.for_table env' fragments ~table in
+        let* v = Algo.lift (Fullc.Update_views.for_table env' fragments ~table) in
         Ok (Query.View.set_table_view table v st.State.update_views)
   in
   let st' = { State.env = env'; fragments; query_views; update_views } in
   (* Safety: remaining foreign keys of the touched table still hold. *)
-  let* () =
+  let* obls =
     Algo.span "drop-assoc.fk-checks" @@ fun () ->
     match Relational.Schema.find_table env'.Query.Env.store table with
-    | None -> Ok ()
+    | None -> Ok []
     | Some tbl ->
-        List.fold_left
-          (fun acc (fk : Relational.Table.foreign_key) ->
-            let* () = acc in
+        Algo.collect
+          (fun (fk : Relational.Table.foreign_key) ->
             if
               Query.View.table_view st'.State.update_views table = None
               || Query.View.table_view st'.State.update_views fk.ref_table = None
-            then Ok ()
-            else Algo.fk_containment env' st'.State.update_views ~table fk)
-          (Ok ()) tbl.Relational.Table.fks
+            then Ok []
+            else Algo.fk_obligations env' st'.State.update_views ~table fk)
+          tbl.Relational.Table.fks
   in
+  let* () = Algo.discharge ?jobs obls in
   Ok st'

@@ -8,4 +8,5 @@
     Dropping rows can only shrink foreign-key sources, but the touched
     table's keys are re-checked for safety. *)
 
-val apply : State.t -> assoc:string -> (State.t, string) result
+val apply :
+  ?jobs:int -> State.t -> assoc:string -> (State.t, Containment.Validation_error.t) result

@@ -1,11 +1,5 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
-
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
+let fail fmt = Algo.fail fmt
 
 let erase_type ~e cond =
   Query.Cond.simplify
@@ -16,7 +10,7 @@ let erase_type ~e cond =
          | atom -> atom)
        cond)
 
-let apply (st : State.t) ~etype =
+let apply ?jobs (st : State.t) ~etype =
   let client = st.State.env.Query.Env.client in
   let* set =
     match Edm.Schema.set_of_type client etype with
@@ -28,7 +22,7 @@ let apply (st : State.t) ~etype =
     | Some _ -> Ok ()
     | None -> fail "dropping hierarchy root %s would drop its entity set; not supported" etype
   in
-  let* client' = Edm.Schema.remove_type etype client in
+  let* client' = Algo.lift (Edm.Schema.remove_type etype client) in
   let before_tables = Mapping.Fragments.tables st.State.fragments in
   let fragments =
     Algo.span "drop-entity.fragments" @@ fun () ->
@@ -57,18 +51,19 @@ let apply (st : State.t) ~etype =
       (List.map (fun (f : Mapping.Fragment.t) -> f.Mapping.Fragment.table)
          (Mapping.Fragments.of_set fragments set))
   in
-  let* () =
+  let* obls =
     Algo.span "drop-entity.fk-checks" @@ fun () ->
-    all_ok
+    Algo.collect
       (fun table ->
         match Relational.Schema.find_table env'.Query.Env.store table with
-        | None -> Ok ()
+        | None -> Ok []
         | Some tbl ->
-            all_ok
+            Algo.collect
               (fun (fk : Relational.Table.foreign_key) ->
-                if Query.View.table_view st'.State.update_views fk.ref_table = None then Ok ()
-                else Algo.fk_containment env' st'.State.update_views ~table fk)
+                if Query.View.table_view st'.State.update_views fk.ref_table = None then Ok []
+                else Algo.fk_obligations env' st'.State.update_views ~table fk)
               tbl.Relational.Table.fks)
       touched
   in
+  let* () = Algo.discharge ?jobs obls in
   Ok st'

@@ -12,4 +12,5 @@
     remaining fragments — the neighborhood — and the touched tables'
     foreign keys are re-checked. *)
 
-val apply : State.t -> etype:string -> (State.t, string) result
+val apply :
+  ?jobs:int -> State.t -> etype:string -> (State.t, Containment.Validation_error.t) result

@@ -1,11 +1,6 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
-
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
 let apply (st : State.t) ~etype ~attr =
   let client = st.State.env.Query.Env.client in
@@ -14,7 +9,7 @@ let apply (st : State.t) ~etype ~attr =
     | Some s -> Ok s
     | None -> fail "unknown entity type %s" etype
   in
-  let* client' = Edm.Schema.remove_attribute ~etype attr client in
+  let* client' = Algo.lift (Edm.Schema.remove_attribute ~etype attr client) in
   (* No fragment may condition on the attribute. *)
   let* () =
     all_ok
@@ -50,7 +45,7 @@ let apply (st : State.t) ~etype ~attr =
   let* () =
     Algo.span "drop-property.coverage" @@ fun () ->
     all_ok
-      (fun ty -> Mapping.Coverage.attribute_coverage env' fragments ~etype:ty)
+      (fun ty -> Algo.lift (Mapping.Coverage.attribute_coverage env' fragments ~etype:ty))
       (Edm.Schema.subtypes client' (Edm.Schema.root_of client' etype))
   in
   let after_tables = Mapping.Fragments.tables fragments in

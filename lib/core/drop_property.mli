@@ -11,4 +11,5 @@
     re-checked — dropping an attribute can never lose {e other} data, but
     the checks guard the fragment surgery itself. *)
 
-val apply : State.t -> etype:string -> attr:string -> (State.t, string) result
+val apply :
+  State.t -> etype:string -> attr:string -> (State.t, Containment.Validation_error.t) result

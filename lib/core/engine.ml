@@ -1,31 +1,37 @@
-let dispatch st = function
+let dispatch ?jobs st = function
   | Smo.Add_entity { entity; alpha; p_ref; table; fmap } ->
-      Add_entity.apply st ~entity ~alpha ~p_ref ~table ~fmap
-  | Smo.Add_entity_part { entity; p_ref; parts } -> Add_entity_part.apply st ~entity ~p_ref ~parts
+      Add_entity.apply ?jobs st ~entity ~alpha ~p_ref ~table ~fmap
+  | Smo.Add_entity_part { entity; p_ref; parts } ->
+      Add_entity_part.apply ?jobs st ~entity ~p_ref ~parts
   | Smo.Add_entity_tph { entity; table; fmap; discriminator } ->
-      Add_entity_tph.apply st ~entity ~table ~fmap ~discriminator
-  | Smo.Add_assoc_fk { assoc; table; fmap } -> Add_assoc_fk.apply st ~assoc ~table ~fmap
-  | Smo.Add_assoc_jt { assoc; table; fmap } -> Add_assoc_jt.apply st ~assoc ~table ~fmap
-  | Smo.Add_property { etype; attr; target } -> Add_property.apply st ~etype ~attr ~target
-  | Smo.Drop_entity { etype } -> Drop_entity.apply st ~etype
-  | Smo.Drop_association { assoc } -> Drop_assoc.apply st ~assoc
+      Add_entity_tph.apply ?jobs st ~entity ~table ~fmap ~discriminator
+  | Smo.Add_assoc_fk { assoc; table; fmap } -> Add_assoc_fk.apply ?jobs st ~assoc ~table ~fmap
+  | Smo.Add_assoc_jt { assoc; table; fmap } -> Add_assoc_jt.apply ?jobs st ~assoc ~table ~fmap
+  | Smo.Add_property { etype; attr; target } -> Add_property.apply ?jobs st ~etype ~attr ~target
+  | Smo.Drop_entity { etype } -> Drop_entity.apply ?jobs st ~etype
+  | Smo.Drop_association { assoc } -> Drop_assoc.apply ?jobs st ~assoc
   | Smo.Drop_property { etype; attr } -> Drop_property.apply st ~etype ~attr
   | Smo.Widen_attribute { etype; attr; domain } -> Modify_facet.widen_attribute st ~etype ~attr domain
   | Smo.Set_multiplicity { assoc; mult } -> Modify_facet.set_multiplicity st ~assoc mult
-  | Smo.Refactor { assoc } -> Refactor.apply st ~assoc
+  | Smo.Refactor { assoc } -> Refactor.apply ?jobs st ~assoc
 
 (* One span per SMO, tagged with its kind — the unit of the paper's Fig. 9/10
    timings and of the bench per-phase breakdown.  The attrs (notably
-   [Smo.show]) are only computed when collection is on. *)
-let apply st smo =
-  if not (Obs.enabled ()) then dispatch st smo
-  else
-    Obs.Span.with_
-      ~name:("smo:" ^ Smo.name smo)
-      ~attrs:[ ("kind", Smo.name smo); ("smo", Smo.show smo) ]
-      (fun () -> dispatch st smo)
+   [Smo.show]) are only computed when collection is on.  Errors are tagged
+   with the failing SMO's kind for structured reporting. *)
+let apply ?jobs st smo =
+  let result =
+    if not (Obs.enabled ()) then dispatch ?jobs st smo
+    else
+      Obs.Span.with_
+        ~name:("smo:" ^ Smo.name smo)
+        ~attrs:[ ("kind", Smo.name smo); ("smo", Smo.show smo) ]
+        (fun () -> dispatch ?jobs st smo)
+  in
+  Result.map_error (Containment.Validation_error.with_smo (Smo.name smo)) result
 
-let apply_all st smos = List.fold_left (fun acc smo -> Result.bind acc (fun st -> apply st smo)) (Ok st) smos
+let apply_all ?jobs st smos =
+  List.fold_left (fun acc smo -> Result.bind acc (fun st -> apply ?jobs st smo)) (Ok st) smos
 
 type timing = {
   smo : string;
@@ -33,10 +39,10 @@ type timing = {
   containment : Containment.Stats.snapshot;
 }
 
-let apply_timed st smo =
+let apply_timed ?jobs st smo =
   let before = Containment.Stats.read () in
   let t0 = Unix.gettimeofday () in
-  match apply st smo with
+  match apply ?jobs st smo with
   | Error e -> Error e
   | Ok st' ->
       let seconds = Unix.gettimeofday () -. t0 in

@@ -2,11 +2,20 @@
     Fig. 7: take a validated, compiled state, apply one SMO, and either
     produce the evolved state (new schemas, adapted fragments, incrementally
     recompiled query and update views) or abort with the previous state
-    intact. *)
+    intact.
 
-val apply : State.t -> Smo.t -> (State.t, string) result
+    [?jobs] sets the degree of parallelism for discharging the SMO's
+    containment obligations (default: {!Containment.Discharge.default_jobs}).
+    Verdicts and failure messages are identical for every [jobs] value.
+    Failures are structured {!Containment.Validation_error.t} values tagged
+    with the SMO kind; [Containment.Validation_error.show] renders the same
+    message the string-errored API used to produce. *)
 
-val apply_all : State.t -> Smo.t list -> (State.t, string) result
+val apply :
+  ?jobs:int -> State.t -> Smo.t -> (State.t, Containment.Validation_error.t) result
+
+val apply_all :
+  ?jobs:int -> State.t -> Smo.t list -> (State.t, Containment.Validation_error.t) result
 (** Left-to-right; the first failure aborts the whole sequence. *)
 
 type timing = {
@@ -15,6 +24,7 @@ type timing = {
   containment : Containment.Stats.snapshot;  (** checker work during the SMO *)
 }
 
-val apply_timed : State.t -> Smo.t -> (State.t * timing, string) result
+val apply_timed :
+  ?jobs:int -> State.t -> Smo.t -> (State.t * timing, Containment.Validation_error.t) result
 (** Wall-clock and containment-checker accounting for one application — the
     measurement underlying Figs. 9 and 10. *)

@@ -1,15 +1,10 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
-
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
 let widen_attribute (st : State.t) ~etype ~attr dom =
   let env = st.State.env in
-  let* client' = Edm.Schema.widen_attribute ~etype attr dom env.Query.Env.client in
+  let* client' = Algo.lift (Edm.Schema.widen_attribute ~etype attr dom env.Query.Env.client) in
   (* Every column the attribute maps to must subsume the widened domain. *)
   let* set =
     match Edm.Schema.set_of_type client' etype with
@@ -89,5 +84,5 @@ let set_multiplicity (st : State.t) ~assoc (m1, m2) =
            cannot be enforced"
           assoc
   in
-  let* client' = Edm.Schema.set_multiplicity ~assoc (m1, m2) env.Query.Env.client in
+  let* client' = Algo.lift (Edm.Schema.set_multiplicity ~assoc (m1, m2) env.Query.Env.client) in
   Ok { st with State.env = Query.Env.make ~client:client' ~store:env.Query.Env.store }

@@ -17,9 +17,10 @@
     aborts. *)
 
 val widen_attribute :
-  State.t -> etype:string -> attr:string -> Datum.Domain.t -> (State.t, string) result
+  State.t -> etype:string -> attr:string -> Datum.Domain.t ->
+  (State.t, Containment.Validation_error.t) result
 
 val set_multiplicity :
   State.t -> assoc:string ->
   Edm.Association.multiplicity * Edm.Association.multiplicity ->
-  (State.t, string) result
+  (State.t, Containment.Validation_error.t) result

@@ -1,13 +1,8 @@
 let ( let* ) = Result.bind
-let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+let fail fmt = Algo.fail fmt
+let all_ok = Algo.all_ok
 
-let rec all_ok f = function
-  | [] -> Ok ()
-  | x :: rest ->
-      let* () = f x in
-      all_ok f rest
-
-let apply (st : State.t) ~assoc =
+let apply ?jobs (st : State.t) ~assoc =
   let client = st.State.env.Query.Env.client in
   let* a =
     match Edm.Schema.find_association client assoc with
@@ -56,8 +51,8 @@ let apply (st : State.t) ~assoc =
     | None -> Ok ()
   in
   (* Client schema: drop the association, reparent E2 under E1. *)
-  let* client' = Edm.Schema.remove_association assoc client in
-  let* client' = Edm.Schema.reparent ~etype:e2 ~parent:e1 client' in
+  let* client' = Algo.lift (Edm.Schema.remove_association assoc client) in
+  let* client' = Algo.lift (Edm.Schema.reparent ~etype:e2 ~parent:e1 client') in
   let env' = Query.Env.make ~client:client' ~store:st.State.env.Query.Env.store in
   let* set1 =
     match Edm.Schema.set_of_type client' e1 with
@@ -99,7 +94,7 @@ let apply (st : State.t) ~assoc =
   let* () =
     Algo.span "refactor.coverage" @@ fun () ->
     all_ok
-      (fun ty -> Mapping.Coverage.attribute_coverage env' fragments ~etype:ty)
+      (fun ty -> Algo.lift (Mapping.Coverage.attribute_coverage env' fragments ~etype:ty))
       (Edm.Schema.subtypes client' e2)
   in
   (* Views: drop the association view and the stale E2-subtree views, then
@@ -108,15 +103,16 @@ let apply (st : State.t) ~assoc =
   let st' = { State.env = env'; fragments; query_views; update_views = st.State.update_views } in
   let* st' = Algo.recompile_set env' fragments ~set:set1 st' in
   (* Foreign keys of the subtree's table must keep resolving. *)
-  let* () =
+  let* obls =
     Algo.span "refactor.fk-checks" @@ fun () ->
     match Relational.Schema.find_table env'.Query.Env.store t2 with
-    | None -> Ok ()
+    | None -> Ok []
     | Some tbl ->
-        all_ok
+        Algo.collect
           (fun (fk : Relational.Table.foreign_key) ->
-            if Query.View.table_view st'.State.update_views fk.ref_table = None then Ok ()
-            else Algo.fk_containment env' st'.State.update_views ~table:t2 fk)
+            if Query.View.table_view st'.State.update_views fk.ref_table = None then Ok []
+            else Algo.fk_obligations env' st'.State.update_views ~table:t2 fk)
           tbl.Relational.Table.fks
   in
+  let* () = Algo.discharge ?jobs obls in
   Ok st'

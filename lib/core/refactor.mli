@@ -15,4 +15,5 @@
     maps entirely to tables carrying the association's f(PK₁) image, with
     the association mapped FK-style into [E2]'s table. *)
 
-val apply : State.t -> assoc:string -> (State.t, string) result
+val apply :
+  ?jobs:int -> State.t -> assoc:string -> (State.t, Containment.Validation_error.t) result

@@ -8,19 +8,20 @@ type event =
 type t = {
   initial : State.t;
   past : (State.t * entry) list;        (* newest first; state BEFORE the smo *)
+  depth : int;                          (* length of [past], tracked incrementally *)
   present : State.t;
   future : (State.t * entry) list;      (* undone, newest undo first *)
-  checkpoints : (string * int) list;    (* name -> length of [past] at the mark *)
+  checkpoints : (string * int) list;    (* name -> [depth] at the mark *)
   events : event list;                  (* newest first *)
 }
 
 let start present =
-  { initial = present; past = []; present; future = []; checkpoints = []; events = [] }
+  { initial = present; past = []; depth = 0; present; future = []; checkpoints = []; events = [] }
 
 let current t = t.present
 
-let apply t smo =
-  match Engine.apply_timed t.present smo with
+let apply ?jobs t smo =
+  match Engine.apply_timed ?jobs t.present smo with
   | Error e -> Error e
   | Ok (next, timing) ->
       let entry = { smo; timing } in
@@ -28,6 +29,7 @@ let apply t smo =
         {
           t with
           past = (t.present, entry) :: t.past;
+          depth = t.depth + 1;
           present = next;
           future = [];
           events = Applied entry :: t.events;
@@ -37,20 +39,28 @@ let undo t =
   match t.past with
   | [] -> None
   | (before, entry) :: past ->
-      Some { t with past; present = before; future = (t.present, entry) :: t.future }
+      Some
+        {
+          t with
+          past;
+          depth = t.depth - 1;
+          present = before;
+          future = (t.present, entry) :: t.future;
+        }
 
 let redo t =
   match t.future with
   | [] -> None
   | (after, entry) :: future ->
-      Some { t with past = (t.present, entry) :: t.past; present = after; future }
+      Some
+        { t with past = (t.present, entry) :: t.past; depth = t.depth + 1; present = after; future }
 
 let history t = List.rev_map (fun (_, e) -> e) t.past
 
 let checkpoint ~name t =
   {
     t with
-    checkpoints = (name, List.length t.past) :: List.remove_assoc name t.checkpoints;
+    checkpoints = (name, t.depth) :: List.remove_assoc name t.checkpoints;
     events = Checkpointed name :: t.events;
   }
 
@@ -59,7 +69,7 @@ let rollback_to ~name t =
   | None -> Error (Printf.sprintf "unknown checkpoint %s" name)
   | Some depth ->
       let rec unwind t =
-        if List.length t.past <= depth then t
+        if t.depth <= depth then t
         else match undo t with Some t -> unwind t | None -> t
       in
       let t = unwind t in

@@ -15,9 +15,10 @@ type t
 val start : State.t -> t
 val current : t -> State.t
 
-val apply : t -> Smo.t -> (t, string) result
+val apply : ?jobs:int -> t -> Smo.t -> (t, Containment.Validation_error.t) result
 (** Apply incrementally and record; on validation failure the session is
-    unchanged (the "abort" arrow of Fig. 7). *)
+    unchanged (the "abort" arrow of Fig. 7).  [?jobs] controls obligation
+    discharge parallelism, as in {!Engine.apply}. *)
 
 val undo : t -> t option
 (** Step back over the last accepted SMO; [None] at the initial state. *)

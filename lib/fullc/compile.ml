@@ -6,7 +6,7 @@ type t = {
 
 let ( let* ) = Result.bind
 
-let compile ?(validate = true) ?(optimize = false) env frags =
+let compile ?(validate = true) ?(optimize = false) ?jobs env frags =
   Obs.Span.with_ ~name:"fullc.compile"
     ~attrs:[ ("fragments", string_of_int (Mapping.Fragments.size frags)) ]
     (fun () ->
@@ -16,7 +16,8 @@ let compile ?(validate = true) ?(optimize = false) env frags =
       in
       let* report =
         if validate then
-          Obs.Span.with_ ~name:"fullc.validate" (fun () -> Validate.run env frags update_views)
+          Obs.Span.with_ ~name:"fullc.validate" (fun () ->
+              Validate.run ?jobs env frags update_views)
         else Ok { Validate.cells_visited = 0; containment_checks = 0; covered_types = 0 }
       in
       let* query_views =

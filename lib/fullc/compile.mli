@@ -11,8 +11,10 @@ type t = {
 }
 
 val compile :
-  ?validate:bool -> ?optimize:bool ->
+  ?validate:bool -> ?optimize:bool -> ?jobs:int ->
   Query.Env.t -> Mapping.Fragments.t -> (t, string) result
 (** [?validate] defaults to [true]; benchmarks use [~validate:false] to
     isolate view-generation cost.  [?optimize] (default false) runs the
-    Section-6 view optimizer ({!Optimize}) during view generation. *)
+    Section-6 view optimizer ({!Optimize}) during view generation.
+    [?jobs] sets obligation-discharge parallelism for validation; verdicts
+    are identical for every value. *)

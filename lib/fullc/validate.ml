@@ -142,61 +142,83 @@ let client_query_renamed (g : Mapping.Fragment.t) cols ~renaming =
       Some (Query.Algebra.Project (List.map Option.get items, base))
   | _ -> None
 
-let fk_checks env frags uv =
+(* Accumulate per-item obligation lists in emission order. *)
+let collect f xs =
+  let* groups =
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        let* obls = f x in
+        Ok (obls :: acc))
+      (Ok []) xs
+  in
+  Ok (List.concat (List.rev groups))
+
+let fk_obligations env frags uv =
   ignore uv;
   let store = env.Query.Env.store in
-  let checked = ref 0 in
-  let* () =
-    all_ok
-      (fun table ->
-        let tbl = Relational.Schema.get_table store table in
-        all_ok
-          (fun (fk : Relational.Table.foreign_key) ->
-            let* () =
-              if Mapping.Fragments.on_table frags fk.ref_table <> [] then Ok ()
+  collect
+    (fun table ->
+      let tbl = Relational.Schema.get_table store table in
+      collect
+        (fun (fk : Relational.Table.foreign_key) ->
+          let* () =
+            if Mapping.Fragments.on_table frags fk.ref_table <> [] then Ok ()
+            else
+              fail "foreign key %s -> %s references a table outside the mapping" table
+                fk.ref_table
+          in
+          let renaming = List.combine fk.fk_columns fk.ref_columns in
+          let rhs =
+            List.filter_map
+              (fun g -> client_query_renamed g fk.ref_columns ~renaming:[])
+              (Mapping.Fragments.on_table frags fk.ref_table)
+          in
+          let* rhs =
+            match rhs with
+            | [] -> fail "no fragment populates the key of %s" fk.ref_table
+            | q :: rest ->
+                Ok (List.fold_left (fun acc q' -> Query.Algebra.Union_all (acc, q')) q rest)
+          in
+          collect
+            (fun (g : Mapping.Fragment.t) ->
+              let writes c =
+                Mapping.Fragment.attr_of g c <> None
+                || List.mem_assoc c
+                     (Frag_info.determined_constants g.Mapping.Fragment.store_cond)
+              in
+              if not (List.exists writes fk.fk_columns) then Ok []
+              else if not (List.for_all writes fk.fk_columns) then
+                fail "fragment %s writes foreign key %s(%s) only partially"
+                  (Mapping.Fragment.show g) table
+                  (String.concat "," fk.fk_columns)
               else
-                fail "foreign key %s -> %s references a table outside the mapping" table
-                  fk.ref_table
-            in
-            let renaming = List.combine fk.fk_columns fk.ref_columns in
-            let rhs =
-              List.filter_map
-                (fun g -> client_query_renamed g fk.ref_columns ~renaming:[])
-                (Mapping.Fragments.on_table frags fk.ref_table)
-            in
-            let* rhs =
-              match rhs with
-              | [] -> fail "no fragment populates the key of %s" fk.ref_table
-              | q :: rest ->
-                  Ok (List.fold_left (fun acc q' -> Query.Algebra.Union_all (acc, q')) q rest)
-            in
-            all_ok
-              (fun (g : Mapping.Fragment.t) ->
-                let writes c =
-                  Mapping.Fragment.attr_of g c <> None
-                  || List.mem_assoc c
-                       (Frag_info.determined_constants g.Mapping.Fragment.store_cond)
-                in
-                if not (List.exists writes fk.fk_columns) then Ok ()
-                else if not (List.for_all writes fk.fk_columns) then
-                  fail "fragment %s writes foreign key %s(%s) only partially"
-                    (Mapping.Fragment.show g) table
-                    (String.concat "," fk.fk_columns)
-                else
-                  match client_query_renamed g fk.fk_columns ~renaming with
-                  | None -> fail "fragment %s cannot be checked against the foreign key"
-                              (Mapping.Fragment.show g)
-                  | Some lhs ->
-                      incr checked;
-                      if Containment.Check.holds env lhs rhs then Ok ()
-                      else
-                        fail "update views may violate foreign key %s(%s) -> %s" table
-                          (String.concat "," fk.fk_columns) fk.ref_table)
-              (Mapping.Fragments.on_table frags table))
-          tbl.Relational.Table.fks)
-      (Mapping.Fragments.tables frags)
+                match client_query_renamed g fk.fk_columns ~renaming with
+                | None -> fail "fragment %s cannot be checked against the foreign key"
+                            (Mapping.Fragment.show g)
+                | Some lhs ->
+                    Ok
+                      [
+                        Containment.Obligation.make
+                          ~name:
+                            (Printf.sprintf "fullc.fk:%s(%s)/%s" table
+                               (String.concat "," fk.fk_columns) (Mapping.Fragment.show g))
+                          ~env ~lhs ~rhs
+                          ~on_fail:
+                            (Printf.sprintf "update views may violate foreign key %s(%s) -> %s"
+                               table
+                               (String.concat "," fk.fk_columns) fk.ref_table);
+                      ])
+            (Mapping.Fragments.on_table frags table))
+        tbl.Relational.Table.fks)
+    (Mapping.Fragments.tables frags)
+
+let fk_checks ?jobs env frags uv =
+  let* obls = fk_obligations env frags uv in
+  let* () =
+    Result.map_error Containment.Validation_error.show (Containment.Discharge.run ?jobs obls)
   in
-  Ok !checked
+  Ok (List.length obls)
 
 let nullability env frags =
   let store = env.Query.Env.store in
@@ -222,10 +244,10 @@ let nullability env frags =
 
 let phase name f = Obs.Span.with_ ~name:("validate." ^ name) f
 
-let run env frags uv =
+let run ?jobs env frags uv =
   let* () = phase "well-formed" (fun () -> Mapping.Fragments.well_formed env frags) in
   let* cells_visited = phase "cells" (fun () -> one_to_one env frags) in
   let* covered_types = phase "coverage" (fun () -> coverage env frags) in
   let* () = phase "nullability" (fun () -> nullability env frags) in
-  let* containment_checks = phase "fk-checks" (fun () -> fk_checks env frags uv) in
+  let* containment_checks = phase "fk-checks" (fun () -> fk_checks ?jobs env frags uv) in
   Ok { cells_visited; containment_checks; covered_types }

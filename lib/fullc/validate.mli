@@ -26,8 +26,17 @@ type report = {
 }
 
 val run :
-  Query.Env.t -> Mapping.Fragments.t -> Query.View.update_views ->
+  ?jobs:int -> Query.Env.t -> Mapping.Fragments.t -> Query.View.update_views ->
   (report, string) result
+(** [?jobs] sets the parallelism for discharging the foreign-key containment
+    obligations (step 4); verdicts are identical for every value. *)
+
+val fk_obligations :
+  Query.Env.t -> Mapping.Fragments.t -> Query.View.update_views ->
+  (Containment.Obligation.t list, string) result
+(** The foreign-key containment obligations of step 4, one per
+    (foreign key, writing fragment) pair, without discharging them —
+    exported so harnesses can batch obligations across whole models. *)
 
 val attribute_coverage :
   Query.Env.t -> Mapping.Fragments.t -> etype:string -> (unit, string) result

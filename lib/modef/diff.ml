@@ -281,4 +281,4 @@ let infer (st : Core.State.t) ~target =
 
 let apply_diff st ~target =
   let* smos = infer st ~target in
-  Core.Engine.apply_all st smos
+  Result.map_error Containment.Validation_error.show (Core.Engine.apply_all st smos)

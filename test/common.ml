@@ -9,6 +9,13 @@ let check = Alcotest.check
 let checkb = Alcotest.check Alcotest.bool
 let ok_exn = function Ok x -> x | Error e -> Alcotest.failf "unexpected error: %s" e
 
+(* Validation_error-typed results (Core.Engine / Core.Session). *)
+let show_v = Containment.Validation_error.show
+
+let ok_v = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %s" (show_v e)
+
 let check_ok msg = function
   | Ok () -> ()
   | Error e -> Alcotest.failf "%s: expected Ok, got Error %s" msg e

@@ -72,7 +72,7 @@ let test_tpt_child_on_composite_key () =
             [ ("MV", D.Int, `Not_null); ("MS", D.Int, `Not_null); ("Tolerance", D.Int, `Null) ];
         fmap = [ ("Vendor", "MV"); ("Serial", "MS"); ("Tolerance", "Tolerance") ] }
   in
-  let st' = ok_exn (Core.Engine.apply st smo) in
+  let st' = ok_v (Core.Engine.apply st smo) in
   let inst =
     sample env.Query.Env.client
     |> Edm.Instance.add_entity ~set:"Parts"
@@ -137,12 +137,12 @@ let test_tph_drop_and_readd () =
         fmap = [ ("Id", "Id"); ("Label", "Label"); ("Pages", "Pages") ];
         discriminator = ("Disc", V.String disc) }
   in
-  let st = ok_exn (Core.Engine.apply st (book "book")) in
-  let st = ok_exn (Core.Engine.apply st (Core.Smo.Drop_entity { etype = "Book" })) in
+  let st = ok_v (Core.Engine.apply st (book "book")) in
+  let st = ok_v (Core.Engine.apply st (Core.Smo.Drop_entity { etype = "Book" })) in
   checkb "type gone" false (Edm.Schema.mem_type st.Core.State.env.Query.Env.client "Book");
   check Alcotest.int "fragment gone" 1 (Mapping.Fragments.size st.Core.State.fragments);
   (* The discriminator region is free again. *)
-  let st = ok_exn (Core.Engine.apply st (book "book")) in
+  let st = ok_v (Core.Engine.apply st (book "book")) in
   let inst =
     Edm.Instance.empty
     |> Edm.Instance.add_entity ~set:"Items"

@@ -98,7 +98,7 @@ let paper_state =
          [ ("Cid", D.Int, `Not_null); ("Eid", D.Int, `Null); ("Name", D.String, `Null);
            ("Score", D.Int, `Null); ("Addr", D.String, `Null) ]
      in
-     ok
+     ok_v
        (Core.Engine.apply_all st
           [
             Core.Smo.Add_entity

@@ -43,9 +43,9 @@ let smo_supports =
       table = "Client"; fmap = [ ("Customer.Id", "Cid"); ("Employee.Id", "Eid") ] }
 
 let st1 = lazy (ok_exn (Core.State.bootstrap P.stage1.P.env P.stage1.P.fragments))
-let st2 = lazy (ok_exn (Core.Engine.apply (Lazy.force st1) smo_employee))
-let st3 = lazy (ok_exn (Core.Engine.apply (Lazy.force st2) smo_customer))
-let st4 = lazy (ok_exn (Core.Engine.apply (Lazy.force st3) smo_supports))
+let st2 = lazy (ok_v (Core.Engine.apply (Lazy.force st1) smo_employee))
+let st3 = lazy (ok_v (Core.Engine.apply (Lazy.force st2) smo_customer))
+let st4 = lazy (ok_v (Core.Engine.apply (Lazy.force st3) smo_supports))
 
 (* Example 1: Σ1 = {φ1} with query view (π Id,Name (HR) | Person(Id,Name))
    and update view (π Id,Name (σ IS OF Person (Persons)) | HR(Id,Name)). *)

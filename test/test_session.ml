@@ -26,8 +26,8 @@ let has_type s ty = Edm.Schema.mem_type (S.current s).Core.State.env.Query.Env.c
 
 let test_apply_and_history () =
   let s = fresh_session () in
-  let s = ok_exn (S.apply s smo_employee) in
-  let s = ok_exn (S.apply s smo_property) in
+  let s = ok_v (S.apply s smo_employee) in
+  let s = ok_v (S.apply s smo_property) in
   check Alcotest.int "two entries" 2 (List.length (S.history s));
   check (Alcotest.list Alcotest.string) "labels in order" [ "AE-TPT"; "AP" ]
     (List.map (fun (e : S.entry) -> Core.Smo.name e.S.smo) (S.history s));
@@ -45,8 +45,8 @@ let test_failed_apply_keeps_session () =
 
 let test_undo_redo () =
   let s = fresh_session () in
-  let s = ok_exn (S.apply s smo_employee) in
-  let s = ok_exn (S.apply s smo_property) in
+  let s = ok_v (S.apply s smo_employee) in
+  let s = ok_v (S.apply s smo_property) in
   let s = Option.get (S.undo s) in
   checkb "property undone" true
     (Edm.Schema.attribute_domain (S.current s).Core.State.env.Query.Env.client "Employee" "Level"
@@ -56,14 +56,14 @@ let test_undo_redo () =
   checkb "cannot undo past the start" true (S.undo s = None);
   let s = Option.get (S.redo s) in
   checkb "employee redone" true (has_type s "Employee");
-  let s = ok_exn (S.apply s smo_property) in
+  let s = ok_v (S.apply s smo_property) in
   checkb "redo trail cleared by a new apply" true (S.redo s = None)
 
 let test_checkpoints () =
   let s = fresh_session () in
-  let s = ok_exn (S.apply s smo_employee) in
+  let s = ok_v (S.apply s smo_employee) in
   let s = S.checkpoint ~name:"with-employee" s in
-  let s = ok_exn (S.apply s smo_property) in
+  let s = ok_v (S.apply s smo_property) in
   let s = ok_exn (S.rollback_to ~name:"with-employee" s) in
   checkb "back at the checkpoint" true (has_type s "Employee");
   checkb "later SMO rolled back" true

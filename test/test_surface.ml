@@ -117,7 +117,7 @@ let test_smo_script () =
   let smos = ok_exn (Surface.Elaborate.script ast) in
   check Alcotest.int "three SMOs" 3 (List.length smos);
   let st = ok_exn (Core.State.bootstrap P.stage1.P.env P.stage1.P.fragments) in
-  let st = ok_exn (Core.Engine.apply_all st smos) in
+  let st = ok_v (Core.Engine.apply_all st smos) in
   checkb "script reproduces Σ4" true
     (Mapping.Fragments.equal st.Core.State.fragments P.stage4.P.fragments);
   checkb "script reproduces the stage-4 schema" true
@@ -242,8 +242,8 @@ let test_diff_script_replays () =
   let smos = ok_exn (Modef.Diff.infer st ~target) in
   let text = Surface.Print_dsl.script smos in
   let smos' = ok_exn (Surface.Elaborate.script (ok_exn (Surface.Parser.script text))) in
-  let st_direct = ok_exn (Core.Engine.apply_all st smos) in
-  let st_replayed = ok_exn (Core.Engine.apply_all st smos') in
+  let st_direct = ok_v (Core.Engine.apply_all st smos) in
+  let st_replayed = ok_v (Core.Engine.apply_all st smos') in
   checkb "replayed script reaches the same schema" true
     (Edm.Schema.equal st_direct.Core.State.env.Query.Env.client
        st_replayed.Core.State.env.Query.Env.client);

@@ -67,7 +67,7 @@ let test_chain_smo_suite () =
       | Error e ->
           (* The Fig. 6-shaped TPC addition is expected to abort. *)
           if label = "AE-TPC-fk" then ()
-          else Alcotest.failf "%s failed: %s" label e)
+          else Alcotest.failf "%s failed: %s" label (show_v e))
     (Workload.Chain.smo_suite ~at:5)
 
 let test_customer_stats () =
