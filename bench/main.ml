@@ -8,6 +8,7 @@
      ablation — design-choice measurements called out in DESIGN.md
      par   — obligation-discharge jobs sweep (1/2/4); writes BENCH_par.json
      obs   — per-phase span breakdown via lib/obs; writes BENCH_obs.json
+     ivm   — update-translation scaling, IVM vs full diff; writes BENCH_ivm.json
 
    `dune exec bench/main.exe` runs everything; pass a subset of the mode
    names to restrict, and `--chain-size N` to scale the Fig. 9 model. *)
@@ -459,6 +460,145 @@ let obs_report ~chain_size () =
   Printf.printf "\nper-phase aggregates written to BENCH_obs.json\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* IVM: update-translation cost, O(delta) vs O(instance) (E9).         *)
+(* ------------------------------------------------------------------ *)
+
+let ivm () =
+  header "IVM -- update translation: delta propagation vs full store diff";
+  let module P = Workload.Paper_example in
+  let ok = function Ok x -> x | Error e -> failwith e in
+  let s4 = P.stage4 in
+  let env = s4.P.env and frags = s4.P.fragments in
+  let uv =
+    (ok (Fullc.Compile.compile ~validate:false env frags)).Fullc.Compile.update_views
+  in
+  let open Datum in
+  (* A client state with [n] entities: a third each of plain Persons,
+     Employees and Customers, plus Supports links pairing them up. *)
+  let instance n =
+    let third = max 1 (n / 3) in
+    let base = ref Edm.Instance.empty in
+    for i = 0 to third - 1 do
+      base :=
+        Edm.Instance.add_entity ~set:"Persons"
+          (Edm.Instance.entity ~etype:"Person"
+             [ ("Id", Value.Int i); ("Name", Value.String (Printf.sprintf "p%d" i)) ])
+          !base;
+      base :=
+        Edm.Instance.add_entity ~set:"Persons"
+          (Edm.Instance.entity ~etype:"Employee"
+             [ ("Id", Value.Int (i + third)); ("Name", Value.String (Printf.sprintf "e%d" i));
+               ("Department", Value.String (if i mod 2 = 0 then "Sales" else "Support")) ])
+          !base;
+      base :=
+        Edm.Instance.add_entity ~set:"Persons"
+          (Edm.Instance.entity ~etype:"Customer"
+             [ ("Id", Value.Int (i + (2 * third))); ("Name", Value.String (Printf.sprintf "c%d" i));
+               ("CredScore", Value.Int (500 + i)); ("BillAddr", Value.String "1 Oak St") ])
+          !base;
+      base :=
+        Edm.Instance.add_link ~assoc:"Supports"
+          (Row.of_list
+             [ ("Customer.Id", Value.Int (i + (2 * third))); ("Employee.Id", Value.Int (i + third)) ])
+          !base
+    done;
+    !base
+  in
+  (* The measured update: insert [d] fresh Customers; its inverse deletes
+     them again.  Measuring the insert/delete pair on a threaded handle
+     leaves the state unchanged between repetitions, so Bechamel can run the
+     thunk as often as it likes; each pair is two translations. *)
+  let fresh_id k = 1_000_000 + k in
+  let insert_delta d =
+    List.init d (fun k ->
+        Dml.Delta.Insert_entity
+          { set = "Persons";
+            entity =
+              Edm.Instance.entity ~etype:"Customer"
+                [ ("Id", Value.Int (fresh_id k)); ("Name", Value.String "new");
+                  ("CredScore", Value.Int 9); ("BillAddr", Value.String "9 Elm St") ] })
+  in
+  let delete_delta d =
+    List.init d (fun k ->
+        Dml.Delta.Delete_entity
+          { set = "Persons"; key = Row.of_list [ ("Id", Value.Int (fresh_id k)) ] })
+  in
+  let sizes = [ 50; 100; 200; 400; 800 ] in
+  let deltas = [ 1; 8 ] in
+  Printf.printf "model: paper stage 4; delta: insert d Customers (paired with its inverse)\n\n%!";
+  Printf.printf "%9s %6s %14s %14s %10s\n%!" "instance" "delta" "ivm-step" "full-diff" "full/ivm";
+  let results =
+    List.concat_map
+      (fun n ->
+        let inst = instance n in
+        let inc0 = ok (Dml.Translate.ivm_init env uv inst) in
+        List.map
+          (fun d ->
+            let ins = insert_delta d and del = delete_delta d in
+            let h = ref inc0 in
+            let ivm_ns =
+              measure_ns (Printf.sprintf "ivm-%d-%d" n d) (fun () ->
+                  let _, h1 = ok (Dml.Translate.ivm_step !h ins) in
+                  let _, h2 = ok (Dml.Translate.ivm_step h1 del) in
+                  h := h2)
+              /. 2.
+            in
+            let full_ns =
+              measure_ns (Printf.sprintf "full-%d-%d" n d) (fun () ->
+                  ignore
+                    (ok
+                       (Dml.Translate.translate ~mode:`Full_diff env uv ~old_client:inst
+                          ~delta:ins)))
+            in
+            Printf.printf "%9d %6d %14s %14s %9.1fx\n%!" n d
+              (Format.asprintf "%a" pp_seconds (ivm_ns /. 1e9))
+              (Format.asprintf "%a" pp_seconds (full_ns /. 1e9))
+              (full_ns /. ivm_ns);
+            (n, d, ivm_ns, full_ns))
+          deltas)
+      sizes
+  in
+  (* Acceptance (ISSUE 3): a 1-entity delta's IVM translate cost grows <= 2x
+     while the instance grows 16x; the full diff grows super-linearly. *)
+  let at n d = List.find_opt (fun (n', d', _, _) -> n' = n && d' = d) results in
+  let lo = List.hd sizes and hi = List.nth sizes (List.length sizes - 1) in
+  (match (at lo 1, at hi 1) with
+  | Some (_, _, ivm_lo, full_lo), Some (_, _, ivm_hi, full_hi) ->
+      let ivm_growth = ivm_hi /. ivm_lo and full_growth = full_hi /. full_lo in
+      Printf.printf
+        "\n1-entity delta, instance %dx -> %dx (16x): ivm grew %.2fx (target <= 2x: %s), \
+         full diff grew %.2fx\n%!"
+        lo hi ivm_growth
+        (if ivm_growth <= 2.0 then "PASS" else "FAIL")
+        full_growth
+  | _ -> ());
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"model\": \"paper-stage4\",\n  \"rows\": [";
+  List.iteri
+    (fun i (n, d, ivm_ns, full_ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"instance\": %d, \"delta\": %d, \"ivm_step_ns\": %.1f, \"full_diff_ns\": %.1f }"
+           n d ivm_ns full_ns))
+    results;
+  Buffer.add_string buf "\n  ]";
+  (match (at lo 1, at hi 1) with
+  | Some (_, _, ivm_lo, full_lo), Some (_, _, ivm_hi, full_hi) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n  \"acceptance\": { \"instance_growth\": %.1f, \"ivm_growth\": %.3f, \
+            \"full_growth\": %.3f, \"pass\": %b }"
+           (float_of_int hi /. float_of_int lo)
+           (ivm_hi /. ivm_lo) (full_hi /. full_lo)
+           (ivm_hi /. ivm_lo <= 2.0))
+  | _ -> ());
+  Buffer.add_string buf "\n}\n";
+  Out_channel.with_open_text "BENCH_ivm.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "\nscaling sweep written to BENCH_ivm.json\n%!"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -472,11 +612,12 @@ let () =
   in
   let modes =
     List.filter
-      (fun a -> List.mem a [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs" ])
+      (fun a -> List.mem a [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm" ])
       args
   in
   let modes =
-    if modes = [] then [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs" ] else modes
+    if modes = [] then [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm" ]
+    else modes
   in
   List.iter
     (function
@@ -487,5 +628,6 @@ let () =
       | "ablation" -> ablation ()
       | "par" -> par ()
       | "obs" -> obs_report ~chain_size ()
+      | "ivm" -> ivm ()
       | _ -> ())
     modes

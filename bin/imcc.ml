@@ -392,6 +392,83 @@ let dml_cmd =
        ~doc:"Translate a client-side update script into store DML through the update views")
     Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ script_arg)
 
+let apply_cmd =
+  let script_arg =
+    Arg.(required & opt (some string) None
+         & info [ "script" ] ~docv:"FILE.dml" ~doc:"Client-side update script.")
+  in
+  let ivm_flag =
+    Arg.(value & flag
+         & info [ "ivm" ]
+             ~doc:"Translate through the incremental view-maintenance runtime (lib/ivm): \
+                   propagate only the delta through the compiled update views instead of \
+                   diffing whole store images.  Prints the per-operator rows-propagated \
+                   counters.")
+  in
+  let verify_flag =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Also run the other translation mode and check that both produce \
+                   byte-identical SQL and equal store states.")
+  in
+  let run name file size data script ivm verify trace profile =
+    with_obs ~trace ~profile @@ fun () ->
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let st = state_of ~env ~frags loaded in
+    let env = st.Core.State.env in
+    let uv = st.Core.State.update_views in
+    let inst =
+      match data with
+      | Some path -> ok (Surface.Elaborate.data env (ok (Surface.Parser.data (read_file path))))
+      | None -> Edm.Instance.empty
+    in
+    let delta = ok (Surface.Elaborate.dml (ok (Surface.Parser.dml (read_file script)))) in
+    let mode = if ivm then `Ivm else `Full_diff in
+    let before = Obs.Metric.snapshot () in
+    let sql_script, _new_client, new_store =
+      ok (Dml.Translate.translate ~mode env uv ~old_client:inst ~delta)
+    in
+    Printf.printf "-- mode: %s\n" (if ivm then "ivm" else "full-diff");
+    Format.printf "-- translated DML@.%s@." (Dml.Translate.to_sql sql_script);
+    if ivm then begin
+      let d = Obs.Metric.diff before (Obs.Metric.snapshot ()) in
+      let ivm_counters =
+        List.filter (fun (n, v) -> v <> 0 && String.length n >= 4 && String.sub n 0 4 = "ivm.")
+          d.Obs.Metric.counters
+      in
+      if ivm_counters <> [] then begin
+        Printf.printf "-- rows propagated per operator\n";
+        List.iter (fun (n, v) -> Printf.printf "   %-20s %d\n" n v) ivm_counters
+      end
+    end;
+    let old_store = ok (Query.View.apply_update_views env uv inst) in
+    let applied = ok (Dml.Translate.apply_script old_store sql_script) in
+    if not (Relational.Instance.equal applied new_store) then begin
+      Printf.eprintf "error: script does not reproduce the new store\n";
+      exit 1
+    end;
+    Format.printf "-- resulting store state@.%a@." Relational.Instance.pp new_store;
+    if verify then begin
+      let other = if ivm then `Full_diff else `Ivm in
+      let sql2, _, store2 = ok (Dml.Translate.translate ~mode:other env uv ~old_client:inst ~delta) in
+      if Dml.Translate.to_sql sql2 = Dml.Translate.to_sql sql_script
+         && Relational.Instance.equal store2 new_store
+      then Printf.printf "verify: both translation modes agree\n"
+      else begin
+        Printf.eprintf "verify FAILED: modes disagree\n";
+        Printf.eprintf "-- %s\n%s" (if ivm then "full-diff" else "ivm")
+          (Dml.Translate.to_sql sql2);
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:"Translate a client update and apply it to the store, optionally through the \
+             IVM runtime (--ivm)")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ script_arg $ ivm_flag
+          $ verify_flag $ trace_arg $ profile_arg)
+
 let validate_cmd =
   let run name file size jobs trace profile =
     with_obs ~trace ~profile @@ fun () ->
@@ -464,4 +541,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ models_cmd; show_cmd; compile_cmd; evolve_cmd; roundtrip_cmd; query_cmd; dml_cmd;
-            validate_cmd; diff_cmd ]))
+            apply_cmd; validate_cmd; diff_cmd ]))

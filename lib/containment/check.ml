@@ -253,12 +253,3 @@ let equivalent env q1 q2 =
   let* a = subset env q1 q2 in
   if not a then Ok false else subset env q2 q1
 
-(* Legacy entry point, now a thin wrapper over a one-element obligation batch
-   so the Stats/Obs accounting matches the discharge engine exactly.  New
-   call sites should emit [Obligation.t] values and batch them through
-   [Discharge.run] instead. *)
-let holds env q1 q2 =
-  Result.is_ok
-    (Obligation.discharge ~subset
-       (Obligation.make ~name:"check.holds" ~env ~lhs:q1 ~rhs:q2
-          ~on_fail:"containment not proven"))

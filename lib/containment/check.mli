@@ -24,19 +24,6 @@ val subset : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> (bool, string)
 
 val equivalent : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> (bool, string) result
 
-val holds : Query.Env.t -> Query.Algebra.t -> Query.Algebra.t -> bool
-(** [subset] collapsed to a conservative boolean: normalization errors count
-    as "not proven".
-
-    @deprecated [holds] is the legacy eager entry point.  It is now a thin
-    wrapper over a one-element obligation batch (see {!Obligation.discharge}),
-    so its Stats/Obs accounting matches the discharge engine, but it cannot
-    be scheduled or parallelized.  Migration: build an {!Obligation.t}
-    ([Obligation.make ~name ~env ~lhs ~rhs ~on_fail]) where the check arises,
-    collect the batch, and prove it with {!Discharge.run} — failures then
-    carry the obligation name and a structured {!Validation_error.t} instead
-    of a bare [false]. *)
-
 val set_caching : bool -> unit
 (** Verdicts are memoized by (environment fingerprint, queries) — repeated
     validation runs over the same mapping re-ask the same checks, and the

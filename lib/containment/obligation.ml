@@ -11,11 +11,10 @@ let make ~name ~env ~lhs ~rhs ~on_fail = { name; env; lhs; rhs; on_fail }
 let name t = t.name
 let on_fail t = t.on_fail
 
-(* Every obligation — whether discharged sequentially, by a parallel worker,
-   or through the legacy [Check.holds] wrapper — funnels through here, so the
-   Stats/Obs accounting is uniform across all three paths.  A normalization
-   error counts as "not proven", mirroring the conservative collapse the
-   inline [Check.holds] call sites relied on. *)
+(* Every obligation — whether discharged sequentially or by a parallel
+   worker — funnels through here, so the Stats/Obs accounting is uniform
+   across both paths.  A normalization error counts as "not proven", the
+   conservative collapse validation relies on. *)
 let discharge ~subset t =
   Obs.Span.with_ ~name:"containment.obligation" ~attrs:[ ("obligation", t.name) ]
   @@ fun () ->

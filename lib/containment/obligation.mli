@@ -29,5 +29,5 @@ val discharge :
 (** Discharge one obligation with the given prover (normally
     [Check.subset]).  Records the per-obligation span and counter; a
     normalization error is conservatively "not proven".  All discharge paths
-    — {!Discharge.run}, parallel workers, and the legacy [Check.holds]
-    wrapper — go through this function. *)
+    — {!Discharge.run} sequentially or via parallel workers — go through
+    this function. *)

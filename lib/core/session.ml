@@ -5,6 +5,8 @@ type event =
   | Checkpointed of string
   | Rolled_back of string
 
+type ivm_cache = (Query.View.update_views * Ivm.Plan.t) option ref
+
 type t = {
   initial : State.t;
   past : (State.t * entry) list;        (* newest first; state BEFORE the smo *)
@@ -13,10 +15,12 @@ type t = {
   future : (State.t * entry) list;      (* undone, newest undo first *)
   checkpoints : (string * int) list;    (* name -> [depth] at the mark *)
   events : event list;                  (* newest first *)
+  ivm_cache : ivm_cache;                (* shared across derived sessions *)
 }
 
 let start present =
-  { initial = present; past = []; depth = 0; present; future = []; checkpoints = []; events = [] }
+  { initial = present; past = []; depth = 0; present; future = []; checkpoints = [];
+    events = []; ivm_cache = ref None }
 
 let current t = t.present
 
@@ -74,6 +78,28 @@ let rollback_to ~name t =
       in
       let t = unwind t in
       Ok { t with future = []; events = Rolled_back name :: t.events }
+
+(* The update views are rebuilt by value on every SMO, so cache validity is
+   decided by comparing view bindings (with a cheap physical-equality fast
+   path for the untouched case), not by counting SMOs: undo/redo and
+   rollback all land back on cached plans for free. *)
+let same_views a b =
+  a == b
+  || List.equal
+       (fun (ta, va) (tb, vb) -> String.equal ta tb && Query.View.equal va vb)
+       (Query.View.update_view_bindings a)
+       (Query.View.update_view_bindings b)
+
+let ivm_plan t =
+  let uv = t.present.State.update_views in
+  match !(t.ivm_cache) with
+  | Some (cached_uv, plan) when same_views cached_uv uv -> Ok plan
+  | Some _ | None ->
+      Result.map
+        (fun plan ->
+          t.ivm_cache := Some (uv, plan);
+          plan)
+        (Ivm.Plan.compile t.present.State.env uv)
 
 let log t =
   let b = Buffer.create 256 in

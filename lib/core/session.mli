@@ -37,3 +37,11 @@ val rollback_to : name:string -> t -> (t, string) result
 
 val log : t -> string
 (** A human-readable session transcript: SMOs, timings, checkpoints. *)
+
+val ivm_plan : t -> (Ivm.Plan.t, string) result
+(** The IVM dataflow plan compiled from the present state's update views,
+    memoized inside the session: recompiled only when an SMO (or undo/redo/
+    rollback) actually changed the views, decided by value comparison of the
+    view bindings.  The cache is shared by all sessions derived from the
+    same {!start}, so applying an SMO invalidates it exactly when the views
+    move. *)

@@ -128,13 +128,106 @@ let diff_stores schema ~old_store ~new_store =
 let ( let* ) = Result.bind
 let fail fmt = Format.kasprintf (fun s -> Error s) fmt
 
-let translate env uv ~old_client ~delta =
+type mode = [ `Full_diff | `Ivm ]
+
+let default_mode () =
+  match Sys.getenv_opt "IMC_IVM" with
+  | Some ("1" | "true" | "yes") -> `Ivm
+  | Some _ | None -> `Full_diff
+
+let ivm_op = function
+  | Delta.Insert_entity { set; entity } ->
+      Ivm.Apply.Insert_entity
+        { set; etype = entity.Edm.Instance.etype; attrs = entity.Edm.Instance.attrs }
+  | Delta.Delete_entity { set; key } -> Ivm.Apply.Delete_entity { set; key }
+  | Delta.Update_entity { set; key; changes } -> Ivm.Apply.Update_entity { set; key; changes }
+  | Delta.Insert_link { assoc; link } -> Ivm.Apply.Insert_link { assoc; link }
+  | Delta.Delete_link { assoc; link } -> Ivm.Apply.Delete_link { assoc; link }
+
+(* Same classification and ordering as [diff_stores], fed from table deltas
+   instead of whole-store diffs.  [removed]/[added] are sorted subsets of the
+   sorted row lists [diff_table] iterates, and a sorted subset preserves
+   relative order, so the emitted script is byte-identical to the full-diff
+   script (pinned by the differential tests in test/test_ivm.ml). *)
+let script_of_deltas schema (deltas : Ivm.Apply.table_delta list) =
+  let by_table = List.map (fun (d : Ivm.Apply.table_delta) -> (d.Ivm.Apply.table, d)) deltas in
+  let per_table =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name by_table with
+        | None -> None
+        | Some d ->
+            let tbl = Relational.Schema.get_table schema name in
+            let key_of r = Datum.Row.project tbl.Relational.Table.key r in
+            let removed_k = List.map (fun r -> (key_of r, r)) d.Ivm.Apply.removed in
+            let added_k = List.map (fun r -> (key_of r, r)) d.Ivm.Apply.added in
+            let find k l = List.find_opt (fun (k', _) -> Datum.Row.equal k k') l in
+            let deletes =
+              List.filter_map
+                (fun (k, _) ->
+                  if find k added_k = None then Some (Delete_row { table = name; key = k })
+                  else None)
+                removed_k
+            in
+            let updates =
+              List.filter_map
+                (fun (k, r_new) ->
+                  match find k removed_k with
+                  | Some (_, r_old) ->
+                      let changes =
+                        List.filter
+                          (fun (c, v) ->
+                            match Datum.Row.find c r_old with
+                            | Some v_old -> not (Datum.Value.equal v v_old)
+                            | None -> true)
+                          (Datum.Row.to_list r_new)
+                      in
+                      Some (Update_row { table = name; key = k; changes })
+                  | None -> None)
+                added_k
+            in
+            let inserts =
+              List.filter_map
+                (fun (k, r) ->
+                  if find k removed_k = None then Some (Insert_row { table = name; row = r })
+                  else None)
+                added_k
+            in
+            Some (deletes, updates, inserts))
+      (topo_tables schema)
+  in
+  let deletes = List.concat_map (fun (d, _, _) -> d) (List.rev per_table) in
+  let updates = List.concat_map (fun (_, u, _) -> u) per_table in
+  let inserts = List.concat_map (fun (_, _, i) -> i) per_table in
+  deletes @ updates @ inserts
+
+type incremental = { env : Query.Env.t; plan : Ivm.Plan.t; state : Ivm.State.t }
+
+let ivm_init env uv client =
+  let* plan = Ivm.Plan.compile env uv in
+  let* state = Ivm.Apply.init plan client in
+  Ok { env; plan; state }
+
+let ivm_step inc delta =
+  let* deltas, state = Ivm.Apply.step inc.plan inc.state (List.map ivm_op delta) in
+  Ok (script_of_deltas inc.env.Query.Env.store deltas, { inc with state })
+
+let ivm_store inc = Ivm.State.store inc.plan inc.state
+
+let translate ?mode env uv ~old_client ~delta =
+  let mode = match mode with Some m -> m | None -> default_mode () in
   let client_schema = env.Query.Env.client in
   let* new_client = Delta.apply client_schema old_client delta in
-  let* old_store = Query.View.apply_update_views env uv old_client in
-  let* new_store = Query.View.apply_update_views env uv new_client in
-  let script = diff_stores env.Query.Env.store ~old_store ~new_store in
-  Ok (script, new_client, new_store)
+  match mode with
+  | `Full_diff ->
+      let* old_store = Query.View.apply_update_views env uv old_client in
+      let* new_store = Query.View.apply_update_views env uv new_client in
+      let script = diff_stores env.Query.Env.store ~old_store ~new_store in
+      Ok (script, new_client, new_store)
+  | `Ivm ->
+      let* inc = ivm_init env uv old_client in
+      let* script, inc = ivm_step inc delta in
+      Ok (script, new_client, ivm_store inc)
 
 let apply_script store script =
   List.fold_left

@@ -30,12 +30,50 @@ val diff_stores :
     table-by-table; cross-table ordering follows foreign-key topology where
     possible (referenced tables' inserts first, deletes last). *)
 
+type mode = [ `Full_diff | `Ivm ]
+(** How [translate] derives the script: [`Full_diff] materializes both store
+    images through the views and diffs them (O(instance), the original
+    oracle path); [`Ivm] pushes only the delta through a compiled
+    [Ivm.Plan] (same script, property-tested byte-identical). *)
+
+val default_mode : unit -> mode
+(** [`Ivm] when the [IMC_IVM] environment variable is ["1"], ["true"] or
+    ["yes"]; [`Full_diff] otherwise.  CI runs the whole suite once per
+    mode. *)
+
 val translate :
+  ?mode:mode ->
   Query.Env.t -> Query.View.update_views -> old_client:Edm.Instance.t -> delta:Delta.t ->
   (script * Edm.Instance.t * Relational.Instance.t, string) result
-(** Apply the delta to the client state, push both states through the update
-    views, and diff.  Returns the script together with the new client and
-    store states. *)
+(** Apply the delta to the client state and derive the store script
+    ([?mode], default {!default_mode}).  Returns the script together with
+    the new client and store states.  Both modes validate the delta with
+    [Delta.apply] first, so error behaviour is identical. *)
+
+(** {2 Incremental translation}
+
+    The one-shot [translate ~mode:`Ivm] still pays O(instance) to
+    materialize the initial state.  Callers translating a {e stream} of
+    deltas against a fixed mapping hold an [incremental] instead: compile
+    and materialize once, then each [ivm_step] costs O(delta).
+
+    [ivm_step] enforces keyed guards only (see [Ivm.Apply]); it does not
+    re-run [Delta.apply]'s whole-instance checks. *)
+
+type incremental
+
+val ivm_init :
+  Query.Env.t -> Query.View.update_views -> Edm.Instance.t -> (incremental, string) result
+
+val ivm_step : incremental -> Delta.t -> (script * incremental, string) result
+
+val ivm_store : incremental -> Relational.Instance.t
+(** The maintained store image (set-equal to pushing the current client
+    state through the update views). *)
+
+val script_of_deltas : Relational.Schema.t -> Ivm.Apply.table_delta list -> script
+(** Classify per-table removed/added rows into DELETE/UPDATE/INSERT and
+    order them exactly as {!diff_stores} does. *)
 
 val apply_script :
   Relational.Instance.t -> script -> (Relational.Instance.t, string) result

@@ -1,0 +1,166 @@
+module Row_map = Multiset.Row_map
+module Src_map = Plan.Src_map
+
+type op =
+  | Insert_entity of { set : string; etype : string; attrs : Datum.Row.t }
+  | Delete_entity of { set : string; key : Datum.Row.t }
+  | Update_entity of { set : string; key : Datum.Row.t; changes : (string * Datum.Value.t) list }
+  | Insert_link of { assoc : string; link : Datum.Row.t }
+  | Delete_link of { assoc : string; link : Datum.Row.t }
+
+type table_delta = { table : string; removed : Datum.Row.t list; added : Datum.Row.t list }
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let feed_add src row n feed =
+  let d = Option.value ~default:Multiset.empty (Src_map.find_opt src feed) in
+  Src_map.add src (Multiset.add row n d) feed
+
+let entity_key schema ~set row =
+  match Edm.Schema.set_root schema set with
+  | None -> fail "ivm: unknown entity set %s" set
+  | Some root -> Ok (Datum.Row.project (Edm.Schema.key_of schema root) row)
+
+(* Sequentially turn ops into signed base-row deltas, updating the keyed base
+   images as we go so intra-batch guards (duplicate key, missing key,
+   immutable key attribute, duplicate link) see intermediate states.  The
+   whole-instance checks of [Dml.Delta.apply] — association participation on
+   delete, full conformance — are deliberately not re-run here: they cost
+   O(instance), which is exactly what this path avoids.  Callers wanting
+   those guarantees validate the delta first (as [Dml.Translate.translate]
+   does) or accept the trade. *)
+let feed_op (plan : Plan.t) (st, feed) op =
+  let schema = plan.Plan.env.Query.Env.client in
+  match op with
+  | Insert_entity { set; etype; attrs } ->
+      let row = Query.Eval.entity_row plan.Plan.env set { Edm.Instance.etype; attrs } in
+      let* key = entity_key schema ~set row in
+      let src = Query.Algebra.Entity_set set in
+      let base = State.base st src in
+      if Row_map.mem key base then
+        fail "insert: key %s already present in %s" (Datum.Row.show key) set
+      else
+        Ok (State.set_base src (Row_map.add key row base) st, feed_add src row 1 feed)
+  | Delete_entity { set; key } -> (
+      let src = Query.Algebra.Entity_set set in
+      let base = State.base st src in
+      match Row_map.find_opt key base with
+      | None -> fail "delete: no entity with key %s in %s" (Datum.Row.show key) set
+      | Some row ->
+          Ok (State.set_base src (Row_map.remove key base) st, feed_add src row (-1) feed))
+  | Update_entity { set; key; changes } -> (
+      let src = Query.Algebra.Entity_set set in
+      let base = State.base st src in
+      match Row_map.find_opt key base with
+      | None -> fail "update: no entity with key %s in %s" (Datum.Row.show key) set
+      | Some old_row ->
+          let* etype =
+            match Datum.Row.find Query.Env.type_column old_row with
+            | Some (Datum.Value.String ty) -> Ok ty
+            | _ -> fail "ivm: base row in %s lacks a dynamic type" set
+          in
+          let keyattrs = Edm.Schema.key_of schema etype in
+          let* () =
+            match List.find_opt (fun (a, _) -> List.mem a keyattrs) changes with
+            | Some (a, _) -> fail "update: key attribute %s is immutable" a
+            | None -> Ok ()
+          in
+          let* () =
+            match
+              List.find_opt (fun (a, _) -> Edm.Schema.attribute_domain schema etype a = None) changes
+            with
+            | Some (a, _) -> fail "update: %s has no attribute %s" etype a
+            | None -> Ok ()
+          in
+          let new_row =
+            List.fold_left (fun r (a, v) -> Datum.Row.add a v r) old_row changes
+          in
+          Ok
+            ( State.set_base src (Row_map.add key new_row base) st,
+              feed_add src old_row (-1) (feed_add src new_row 1 feed) ))
+  | Insert_link { assoc; link } ->
+      let* () =
+        match Edm.Schema.find_association schema assoc with
+        | Some _ -> Ok ()
+        | None -> fail "unknown association %s" assoc
+      in
+      let src = Query.Algebra.Assoc_set assoc in
+      let base = State.base st src in
+      if Row_map.mem link base then fail "link already present in %s" assoc
+      else Ok (State.set_base src (Row_map.add link link base) st, feed_add src link 1 feed)
+  | Delete_link { assoc; link } ->
+      let src = Query.Algebra.Assoc_set assoc in
+      let base = State.base st src in
+      if not (Row_map.mem link base) then fail "unlink: no such tuple in %s" assoc
+      else Ok (State.set_base src (Row_map.remove link base) st, feed_add src link (-1) feed)
+
+let to_table_deltas deltas =
+  List.map
+    (fun (table, d) ->
+      let removed =
+        List.filter_map (fun (r, n) -> if n < 0 then Some r else None) (Multiset.to_list d)
+      in
+      let added =
+        List.filter_map (fun (r, n) -> if n > 0 then Some r else None) (Multiset.to_list d)
+      in
+      { table; removed; added })
+    deltas
+
+let step (plan : Plan.t) st ops =
+  Obs.Span.with_ ~name:"ivm.step" (fun () ->
+      Obs.Span.add_attr "ops" (string_of_int (List.length ops));
+      let* st, feed =
+        List.fold_left
+          (fun acc op -> Result.bind acc (fun sf -> feed_op plan sf op))
+          (Ok (st, Src_map.empty))
+          ops
+      in
+      let st, deltas = Engine.propagate plan st ~feed in
+      Ok (to_table_deltas deltas, st))
+
+let init (plan : Plan.t) client =
+  Obs.Span.with_ ~name:"ivm.init" (fun () ->
+      let env = plan.Plan.env in
+      let schema = env.Query.Env.client in
+      let* st, feed =
+        List.fold_left
+          (fun acc (set, root) ->
+            let* st, feed = acc in
+            let keyattrs = Edm.Schema.key_of schema root in
+            let src = Query.Algebra.Entity_set set in
+            List.fold_left
+              (fun acc e ->
+                let* st, feed = acc in
+                let row = Query.Eval.entity_row env set e in
+                let key = Datum.Row.project keyattrs row in
+                let base = State.base st src in
+                if Row_map.mem key base then
+                  fail "ivm: duplicate key %s in %s" (Datum.Row.show key) set
+                else
+                  Ok (State.set_base src (Row_map.add key row base) st, feed_add src row 1 feed))
+              (Ok (st, feed))
+              (Edm.Instance.entities client ~set))
+          (Ok (State.empty plan, Src_map.empty))
+          (Edm.Schema.entity_sets schema)
+      in
+      let* st, feed =
+        List.fold_left
+          (fun acc (a : Edm.Association.t) ->
+            let* st, feed = acc in
+            let src = Query.Algebra.Assoc_set a.Edm.Association.name in
+            List.fold_left
+              (fun acc link ->
+                let* st, feed = acc in
+                let base = State.base st src in
+                if Row_map.mem link base then
+                  fail "ivm: duplicate link %s in %s" (Datum.Row.show link) a.Edm.Association.name
+                else
+                  Ok (State.set_base src (Row_map.add link link base) st, feed_add src link 1 feed))
+              (Ok (st, feed))
+              (Edm.Instance.links client ~assoc:a.Edm.Association.name))
+          (Ok (st, feed))
+          (Edm.Schema.associations schema)
+      in
+      let st, _deltas = Engine.propagate plan st ~feed in
+      Ok st)

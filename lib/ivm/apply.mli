@@ -1,0 +1,35 @@
+(** Client deltas in, table deltas out — the IVM face of update translation.
+
+    [init] materializes a client instance through the plan once (it reuses
+    the propagation engine with the whole instance as one "delta", so the
+    materialized state is by construction consistent with what later steps
+    maintain); [step] then costs O(delta), not O(instance).
+
+    Ops mirror [Dml.Delta.op] structurally (lib/ivm sits below lib/dml, so
+    it declares its own type; [Dml.Translate] converts).  [step] enforces
+    the keyed guards — duplicate/missing keys, immutable key attributes,
+    unknown attributes, duplicate/missing links — against its base images,
+    but {e not} the O(instance) whole-state checks of [Dml.Delta.apply]
+    (association participation on entity delete, full conformance); callers
+    needing those validate the delta separately. *)
+
+type op =
+  | Insert_entity of { set : string; etype : string; attrs : Datum.Row.t }
+  | Delete_entity of { set : string; key : Datum.Row.t }
+  | Update_entity of { set : string; key : Datum.Row.t; changes : (string * Datum.Value.t) list }
+  | Insert_link of { assoc : string; link : Datum.Row.t }
+  | Delete_link of { assoc : string; link : Datum.Row.t }
+
+type table_delta = {
+  table : string;
+  removed : Datum.Row.t list;  (** rows that left the table, ascending *)
+  added : Datum.Row.t list;  (** rows that entered the table, ascending *)
+}
+
+val init : Plan.t -> Edm.Instance.t -> (State.t, string) result
+(** Materialize a full client instance (runs under an ["ivm.init"] span). *)
+
+val step : Plan.t -> State.t -> op list -> (table_delta list * State.t, string) result
+(** Propagate one batch of ops (runs under an ["ivm.step"] span).  The
+    returned deltas cover every table of the plan, in plan order; untouched
+    tables have empty [removed]/[added]. *)

@@ -1,0 +1,131 @@
+(* Delta rules, one per algebra operator.  Selections and projections
+   distribute over deltas; unions add them; joins recompute exactly the key
+   groups a delta touches (old and new group contents are both at hand in
+   {!State.join_state}, so Δout = J(new) − J(old) per touched key, with J
+   replicating [Query.Eval]'s matching and padding row for row).  DISTINCT —
+   applied by [apply_update_views] once to query rows and once to constructed
+   tuples — becomes multiplicity 0↔positive transitions. *)
+
+module Row_map = Multiset.Row_map
+
+let c_scan = Obs.Metric.counter "ivm.rows.scan"
+let c_select = Obs.Metric.counter "ivm.rows.select"
+let c_project = Obs.Metric.counter "ivm.rows.project"
+let c_join = Obs.Metric.counter "ivm.rows.join"
+let c_union = Obs.Metric.counter "ivm.rows.union"
+let c_distinct = Obs.Metric.counter "ivm.rows.distinct"
+let c_ctor = Obs.Metric.counter "ivm.rows.ctor"
+
+let tick c d = Obs.Metric.incr ~by:(Multiset.total d) c
+
+(* The join of two key-group bags, replicating Eval's bag semantics: matched
+   pairs multiply their multiplicities; outer kinds pad unmatched rows.  NULL
+   join keys group apart from every non-NULL key and [join_match] refuses
+   them, so NULL-keyed rows are always "unmatched" and pad correctly. *)
+let join_bags (j : Plan.join) lbag rbag =
+  let matched lrow = Multiset.fold (fun rrow _ m -> m || Query.Eval.join_match j.on lrow rrow) rbag in
+  let inner =
+    Multiset.fold
+      (fun lrow cl acc ->
+        Multiset.fold
+          (fun rrow cr acc ->
+            if Query.Eval.join_match j.on lrow rrow then
+              Multiset.add (Datum.Row.union lrow rrow) (cl * cr) acc
+            else acc)
+          rbag acc)
+      lbag Multiset.empty
+  in
+  match j.kind with
+  | Plan.Inner -> inner
+  | Plan.Left | Plan.Full ->
+      let out =
+        Multiset.fold
+          (fun lrow cl acc ->
+            if matched lrow false then acc
+            else Multiset.add (Query.Eval.pad j.left_pad lrow) cl acc)
+          lbag inner
+      in
+      if j.kind = Plan.Left then out
+      else
+        Multiset.fold
+          (fun rrow cr acc ->
+            if Multiset.fold (fun lrow _ m -> m || Query.Eval.join_match j.on lrow rrow) lbag false
+            then acc
+            else Multiset.add (Query.Eval.pad j.right_pad rrow) cr acc)
+          rbag out
+
+let group_keys groups = Row_map.fold (fun k _ acc -> Row_map.add k () acc) groups
+
+let join_delta (j : Plan.join) st dl dr =
+  let js = State.join st j.id in
+  let dl_groups = Multiset.group_by j.on dl and dr_groups = Multiset.group_by j.on dr in
+  let touched = group_keys dr_groups (group_keys dl_groups Row_map.empty) in
+  let group m k = Option.value ~default:Multiset.empty (Row_map.find_opt k m) in
+  let set_group k g m = if Multiset.is_empty g then Row_map.remove k m else Row_map.add k g m in
+  let out, lefts, rights =
+    Row_map.fold
+      (fun k () (out, lefts, rights) ->
+        let old_l = group lefts k and old_r = group rights k in
+        let new_l = Multiset.sum (group dl_groups k) old_l in
+        let new_r = Multiset.sum (group dr_groups k) old_r in
+        let d = Multiset.diff (join_bags j new_l new_r) (join_bags j old_l old_r) in
+        (Multiset.sum d out, set_group k new_l lefts, set_group k new_r rights))
+      touched
+      (Multiset.empty, js.State.lefts, js.State.rights)
+  in
+  (out, State.set_join j.id { State.lefts; rights } st)
+
+let rec node_delta env feed st = function
+  | Plan.Scan src ->
+      let d = Option.value ~default:Multiset.empty (Plan.Src_map.find_opt src feed) in
+      tick c_scan d;
+      (d, st)
+  | Plan.Select (c, n) ->
+      let d, st = node_delta env feed st n in
+      let d = Multiset.filter (fun r -> Query.Cond.eval env.Query.Env.client r c) d in
+      tick c_select d;
+      (d, st)
+  | Plan.Project (items, n) ->
+      let d, st = node_delta env feed st n in
+      let d = Multiset.map_rows (Query.Eval.project_row items) d in
+      tick c_project d;
+      (d, st)
+  | Plan.Union (l, r) ->
+      let dl, st = node_delta env feed st l in
+      let dr, st = node_delta env feed st r in
+      let d = Multiset.sum dl dr in
+      tick c_union d;
+      (d, st)
+  | Plan.Join j ->
+      let dl, st = node_delta env feed st j.left in
+      let dr, st = node_delta env feed st j.right in
+      let d, st = join_delta j st dl dr in
+      tick c_join d;
+      (d, st)
+
+let table_delta (plan : Plan.t) feed st (tp : Plan.table_plan) =
+  let d, st = node_delta plan.Plan.env feed st tp.Plan.root in
+  let ts = State.table st tp.Plan.table in
+  let query_counts, set_d = Multiset.apply_distinct ~base:ts.State.query_counts ~delta:d in
+  tick c_distinct set_d;
+  let tuple_d =
+    Multiset.map_rows
+      (fun r -> Query.Ctor.eval_tuple plan.Plan.env.Query.Env.client r tp.Plan.ctor)
+      set_d
+  in
+  tick c_ctor tuple_d;
+  let tuple_counts, out = Multiset.apply_distinct ~base:ts.State.tuple_counts ~delta:tuple_d in
+  (out, State.set_table tp.Plan.table { State.query_counts; tuple_counts } st)
+
+let propagate (plan : Plan.t) st ~feed =
+  Obs.Span.with_ ~name:"ivm.propagate" (fun () ->
+      let fed = Plan.Src_map.fold (fun _ d acc -> acc + Multiset.total d) feed 0 in
+      Obs.Span.add_attr "rows.fed" (string_of_int fed);
+      let st, deltas =
+        List.fold_left
+          (fun (st, acc) (tp : Plan.table_plan) ->
+            let out, st = table_delta plan feed st tp in
+            (st, (tp.Plan.table, out) :: acc))
+          (st, []) plan.Plan.tables
+      in
+      (st, List.rev deltas))

@@ -1,0 +1,55 @@
+module Row_map = Map.Make (Datum.Row)
+
+type t = int Row_map.t
+
+let empty = Row_map.empty
+let is_empty = Row_map.is_empty
+let count r t = Option.value ~default:0 (Row_map.find_opt r t)
+
+let add r n t =
+  if n = 0 then t
+  else
+    let c = count r t + n in
+    if c = 0 then Row_map.remove r t else Row_map.add r c t
+
+let singleton r n = add r n empty
+let of_rows rows = List.fold_left (fun t r -> add r 1 t) empty rows
+let sum a b = Row_map.fold add a b
+let neg t = Row_map.map (fun n -> -n) t
+let diff a b = Row_map.fold (fun r n acc -> add r (-n) acc) b a
+let to_list t = Row_map.bindings t
+let rows t = List.filter_map (fun (r, n) -> if n > 0 then Some r else None) (Row_map.bindings t)
+let fold f t acc = Row_map.fold f t acc
+let filter p t = Row_map.filter (fun r _ -> p r) t
+let map_rows f t = Row_map.fold (fun r n acc -> add (f r) n acc) t empty
+let total t = Row_map.fold (fun _ n acc -> acc + abs n) t 0
+let cardinal = Row_map.cardinal
+
+let group_by cols t =
+  Row_map.fold
+    (fun r n groups ->
+      let k = Datum.Row.project cols r in
+      let g = Option.value ~default:empty (Row_map.find_opt k groups) in
+      Row_map.add k (add r n g) groups)
+    t Row_map.empty
+
+let apply_distinct ~base ~delta =
+  Row_map.fold
+    (fun r n (base, set_delta) ->
+      let old_c = count r base in
+      let new_c = old_c + n in
+      let base = if new_c = 0 then Row_map.remove r base else Row_map.add r new_c base in
+      let set_delta =
+        if old_c > 0 && new_c <= 0 then add r (-1) set_delta
+        else if old_c <= 0 && new_c > 0 then add r 1 set_delta
+        else set_delta
+      in
+      (base, set_delta))
+    delta (base, empty)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list (fun fmt (r, n) -> Format.fprintf fmt "%+d × %a" n Datum.Row.pp r))
+    (to_list t)
+
+let show t = Format.asprintf "%a" pp t

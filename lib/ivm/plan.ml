@@ -1,0 +1,120 @@
+module Src_map = Map.Make (struct
+  type t = Query.Algebra.source
+
+  let compare = Query.Algebra.compare_source
+end)
+
+type join_kind = Inner | Left | Full
+
+type node =
+  | Scan of Query.Algebra.source
+  | Select of Query.Cond.t * node
+  | Project of Query.Algebra.proj_item list * node
+  | Join of join
+  | Union of node * node
+
+and join = {
+  id : int;
+  kind : join_kind;
+  on : string list;
+  left : node;
+  right : node;
+  left_pad : string list;
+  right_pad : string list;
+}
+
+type table_plan = { table : string; root : node; ctor : Query.Ctor.t }
+
+type t = {
+  env : Query.Env.t;
+  tables : table_plan list;
+  join_count : int;
+  sources : (Query.Algebra.source * string list) list;
+}
+
+let ( let* ) = Result.bind
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let source_key env = function
+  | Query.Algebra.Entity_set s -> (
+      match Edm.Schema.set_root env.Query.Env.client s with
+      | Some root -> Ok (Edm.Schema.key_of env.Query.Env.client root)
+      | None -> fail "ivm: unknown entity set %s" s)
+  | Query.Algebra.Assoc_set a -> (
+      match Edm.Schema.find_association env.Query.Env.client a with
+      | Some assoc -> Ok (Edm.Schema.association_columns env.Query.Env.client assoc)
+      | None -> fail "ivm: unknown association set %s" a)
+  | Query.Algebra.Table t -> fail "ivm: update view scans store table %s" t
+
+let rec compile_node env next_id = function
+  | Query.Algebra.Scan (Table t) -> fail "ivm: update view scans store table %s" t
+  | Query.Algebra.Scan src -> Ok (Scan src)
+  | Query.Algebra.Select (c, q) ->
+      let* n = compile_node env next_id q in
+      Ok (Select (c, n))
+  | Query.Algebra.Project (items, q) ->
+      let* n = compile_node env next_id q in
+      Ok (Project (items, n))
+  | Query.Algebra.Union_all (l, r) ->
+      let* ln = compile_node env next_id l in
+      let* rn = compile_node env next_id r in
+      Ok (Union (ln, rn))
+  | Query.Algebra.Join (l, r, on) -> compile_join env next_id Inner l r on
+  | Query.Algebra.Left_outer_join (l, r, on) -> compile_join env next_id Left l r on
+  | Query.Algebra.Full_outer_join (l, r, on) -> compile_join env next_id Full l r on
+
+and compile_join env next_id kind l r on =
+  let* lcols = Query.Algebra.infer env l in
+  let* rcols = Query.Algebra.infer env r in
+  let* ln = compile_node env next_id l in
+  let* rn = compile_node env next_id r in
+  let id = !next_id in
+  incr next_id;
+  let not_on c = not (List.mem c on) in
+  let left_pad = if kind = Inner then [] else List.filter not_on rcols in
+  let right_pad = if kind = Full then List.filter not_on lcols else [] in
+  Ok (Join { id; kind; on; left = ln; right = rn; left_pad; right_pad })
+
+let rec node_sources acc = function
+  | Scan s -> if List.exists (Query.Algebra.equal_source s) acc then acc else s :: acc
+  | Select (_, n) | Project (_, n) -> node_sources acc n
+  | Join j -> node_sources (node_sources acc j.left) j.right
+  | Union (l, r) -> node_sources (node_sources acc l) r
+
+let compile env uv =
+  let next_id = ref 0 in
+  let* tables =
+    List.fold_left
+      (fun acc (table, (v : Query.View.t)) ->
+        let* acc = acc in
+        let* _cols = Query.Algebra.infer env v.Query.View.query in
+        let* root = compile_node env next_id v.Query.View.query in
+        Ok ({ table; root; ctor = v.Query.View.ctor } :: acc))
+      (Ok [])
+      (Query.View.update_view_bindings uv)
+  in
+  let tables = List.rev tables in
+  let srcs =
+    List.rev (List.fold_left (fun acc (tp : table_plan) -> node_sources acc tp.root) [] tables)
+  in
+  let* sources =
+    List.fold_left
+      (fun acc src ->
+        let* acc = acc in
+        let* key = source_key env src in
+        Ok ((src, key) :: acc))
+      (Ok []) srcs
+  in
+  Ok { env; tables; join_count = !next_id; sources = List.rev sources }
+
+let rec pp_node fmt = function
+  | Scan (Query.Algebra.Entity_set s) | Scan (Query.Algebra.Assoc_set s)
+  | Scan (Query.Algebra.Table s) ->
+      Format.fprintf fmt "%s" s
+  | Select (c, n) -> Format.fprintf fmt "@[σ[%a]@,(%a)@]" Query.Cond.pp c pp_node n
+  | Project (_, n) -> Format.fprintf fmt "@[π(%a)@]" pp_node n
+  | Join j ->
+      Format.fprintf fmt "@[(%a %s#%d{%s} %a)@]" pp_node j.left
+        (match j.kind with Inner -> "⋈" | Left -> "⟕" | Full -> "⟗")
+        j.id (String.concat "," j.on) pp_node j.right
+  | Union (l, r) -> Format.fprintf fmt "@[(%a ∪ %a)@]" pp_node l pp_node r

@@ -1,0 +1,41 @@
+module Row_map = Multiset.Row_map
+module Int_map = Map.Make (Int)
+module String_map = Map.Make (String)
+module Src_map = Plan.Src_map
+
+type join_state = { lefts : Multiset.t Row_map.t; rights : Multiset.t Row_map.t }
+type table_state = { query_counts : Multiset.t; tuple_counts : Multiset.t }
+
+type t = {
+  bases : Datum.Row.t Row_map.t Src_map.t;
+  joins : join_state Int_map.t;
+  tables : table_state String_map.t;
+}
+
+let empty_join = { lefts = Row_map.empty; rights = Row_map.empty }
+let empty_table = { query_counts = Multiset.empty; tuple_counts = Multiset.empty }
+
+let empty (plan : Plan.t) =
+  {
+    bases =
+      List.fold_left
+        (fun m (src, _) -> Src_map.add src Row_map.empty m)
+        Src_map.empty plan.Plan.sources;
+    joins = Int_map.empty;
+    tables = String_map.empty;
+  }
+
+let base t src = Option.value ~default:Row_map.empty (Src_map.find_opt src t.bases)
+let set_base src b t = { t with bases = Src_map.add src b t.bases }
+let join t id = Option.value ~default:empty_join (Int_map.find_opt id t.joins)
+let set_join id js t = { t with joins = Int_map.add id js t.joins }
+let table t name = Option.value ~default:empty_table (String_map.find_opt name t.tables)
+let set_table name ts t = { t with tables = String_map.add name ts t.tables }
+
+let store (plan : Plan.t) t =
+  List.fold_left
+    (fun store (tp : Plan.table_plan) ->
+      Relational.Instance.set_rows ~table:tp.Plan.table
+        (Multiset.rows (table t tp.Plan.table).tuple_counts)
+        store)
+    Relational.Instance.empty plan.Plan.tables

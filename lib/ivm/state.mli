@@ -1,0 +1,40 @@
+(** Materialized images maintained between deltas.
+
+    Immutable (each propagation returns a new value), holding three layers:
+
+    - {e bases}: per client source, the current scan rows keyed by the
+      source's key columns — what {!Apply} consults to validate ops and to
+      build signed row deltas;
+    - {e joins}: per join id, both input bags grouped by join key — what the
+      engine needs to recompute exactly the touched key groups;
+    - {e tables}: per store table, the bag of view query rows and the bag of
+      constructed tuples, each with multiplicities, so DISTINCT maintenance
+      is a pair of counter transitions rather than a re-sort. *)
+
+module Row_map = Multiset.Row_map
+module Int_map : Map.S with type key = int
+module String_map : Map.S with type key = string
+module Src_map = Plan.Src_map
+
+type join_state = { lefts : Multiset.t Row_map.t; rights : Multiset.t Row_map.t }
+type table_state = { query_counts : Multiset.t; tuple_counts : Multiset.t }
+
+type t = {
+  bases : Datum.Row.t Row_map.t Src_map.t;
+  joins : join_state Int_map.t;
+  tables : table_state String_map.t;
+}
+
+val empty : Plan.t -> t
+
+val base : t -> Query.Algebra.source -> Datum.Row.t Row_map.t
+val set_base : Query.Algebra.source -> Datum.Row.t Row_map.t -> t -> t
+val join : t -> int -> join_state
+val set_join : int -> join_state -> t -> t
+val table : t -> string -> table_state
+val set_table : string -> table_state -> t -> t
+
+val store : Plan.t -> t -> Relational.Instance.t
+(** The materialized store image: per table, the rows of [tuple_counts] —
+    by construction equal (as a set) to pushing the current client state
+    through [Query.View.apply_update_views]. *)

@@ -3,20 +3,20 @@ type db = { client : Edm.Instance.t; store : Relational.Instance.t }
 let client_db client = { client; store = Relational.Instance.empty }
 let store_db store = { client = Edm.Instance.empty; store }
 
-let scan_entity_set env db set =
+let entity_row env set (e : Edm.Instance.entity) =
   let cols = Env.entity_set_columns env set in
   let attr_cols = List.filter (fun c -> c <> Env.type_column) cols in
-  List.map
-    (fun (e : Edm.Instance.entity) ->
-      let base =
-        List.fold_left
-          (fun r c ->
-            let v = Option.value ~default:Datum.Value.Null (Datum.Row.find c e.attrs) in
-            Datum.Row.add c v r)
-          Datum.Row.empty attr_cols
-      in
-      Datum.Row.add Env.type_column (Datum.Value.String e.etype) base)
-    (Edm.Instance.entities db.client ~set)
+  let base =
+    List.fold_left
+      (fun r c ->
+        let v = Option.value ~default:Datum.Value.Null (Datum.Row.find c e.attrs) in
+        Datum.Row.add c v r)
+      Datum.Row.empty attr_cols
+  in
+  Datum.Row.add Env.type_column (Datum.Value.String e.etype) base
+
+let scan_entity_set env db set =
+  List.map (entity_row env set) (Edm.Instance.entities db.client ~set)
 
 let project_row items row =
   List.fold_left

@@ -15,6 +15,26 @@ val rows : Env.t -> db -> Algebra.t -> Datum.Row.t list
     entity's type with [NULL] and bind {!Env.type_column}; joins never match
     on [NULL]; outer joins pad the missing side with [NULL]. *)
 
+(** {2 Row-level building blocks}
+
+    Exposed so incremental evaluators (lib/ivm) can replicate [rows]'s
+    semantics row by row instead of re-running whole queries. *)
+
+val entity_row : Env.t -> string -> Edm.Instance.entity -> Datum.Row.t
+(** The scan row of one entity of the named set: every column of
+    {!Env.entity_set_columns} (absent attributes padded with [NULL]) plus
+    {!Env.type_column} bound to the entity's dynamic type. *)
+
+val project_row : Algebra.proj_item list -> Datum.Row.t -> Datum.Row.t
+(** One row through a projection list ([Col]/[Const]/[Coalesce]). *)
+
+val join_match : string list -> Datum.Row.t -> Datum.Row.t -> bool
+(** Whether two rows join on the given columns: both sides bound, the left
+    value non-[NULL], and the values equal. *)
+
+val pad : string list -> Datum.Row.t -> Datum.Row.t
+(** Bind every listed column to [NULL] (outer-join padding). *)
+
 val rows_set : Env.t -> db -> Algebra.t -> Datum.Row.t list
 (** [rows] deduplicated and sorted — set semantics, the basis of query
     equivalence and containment. *)

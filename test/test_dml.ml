@@ -151,6 +151,64 @@ let test_sql_rendering () =
       "DELETE FROM HR WHERE Id = 1;";
     ]
 
+(* diff_stores pins its documented cross-table ordering on a 3-table FK chain
+   A ← B ← C: deletes children-first (C, B, A), then updates parents-first,
+   then inserts parents-first (A, B, C) — the order apply_script needs for a
+   store with enforced foreign keys. *)
+let test_diff_stores_fk_topology () =
+  let t_a = Relational.Table.make ~name:"A" ~key:[ "Id" ] [ ("Id", D.Int, `Not_null); ("Av", D.String, `Null) ] in
+  let t_b =
+    Relational.Table.make ~name:"B" ~key:[ "Id" ]
+      ~fks:[ { Relational.Table.fk_columns = [ "Aid" ]; ref_table = "A"; ref_columns = [ "Id" ] } ]
+      [ ("Id", D.Int, `Not_null); ("Aid", D.Int, `Null); ("Bv", D.String, `Null) ]
+  in
+  let t_c =
+    Relational.Table.make ~name:"C" ~key:[ "Id" ]
+      ~fks:[ { Relational.Table.fk_columns = [ "Bid" ]; ref_table = "B"; ref_columns = [ "Id" ] } ]
+      [ ("Id", D.Int, `Not_null); ("Bid", D.Int, `Null); ("Cv", D.String, `Null) ]
+  in
+  let schema =
+    List.fold_left
+      (fun s t -> ok_exn (Relational.Schema.add_table t s))
+      Relational.Schema.empty [ t_c; t_a; t_b ]
+  in
+  let a i v = row [ ("Id", V.Int i); ("Av", V.String v) ] in
+  let b i aid v = row [ ("Id", V.Int i); ("Aid", V.Int aid); ("Bv", V.String v) ] in
+  let c i bid v = row [ ("Id", V.Int i); ("Bid", V.Int bid); ("Cv", V.String v) ] in
+  let store rows =
+    List.fold_left
+      (fun s (table, rs) -> Relational.Instance.set_rows ~table rs s)
+      Relational.Instance.empty rows
+  in
+  let old_store =
+    store [ ("A", [ a 1 "x"; a 2 "y" ]); ("B", [ b 1 1 "x"; b 2 2 "y" ]); ("C", [ c 1 1 "x"; c 2 2 "y" ]) ]
+  in
+  let new_store =
+    store
+      [ ("A", [ a 1 "x'"; a 3 "z" ]); ("B", [ b 1 1 "x'"; b 3 3 "z" ]); ("C", [ c 1 1 "x'"; c 3 3 "z" ]) ]
+  in
+  let script = Tr.diff_stores schema ~old_store ~new_store in
+  let shape =
+    List.map
+      (function
+        | Tr.Delete_row { table; _ } -> ("delete", table)
+        | Tr.Update_row { table; _ } -> ("update", table)
+        | Tr.Insert_row { table; _ } -> ("insert", table))
+      script
+  in
+  check
+    Alcotest.(list (pair string string))
+    "referenced tables' deletes last, inserts first"
+    [
+      ("delete", "C"); ("delete", "B"); ("delete", "A");
+      ("update", "A"); ("update", "B"); ("update", "C");
+      ("insert", "A"); ("insert", "B"); ("insert", "C");
+    ]
+    shape;
+  (* and that order actually replays against a store with those FKs *)
+  let final = ok_exn (Tr.apply_script old_store script) in
+  checkb "replays to the new store" true (Relational.Instance.equal final new_store)
+
 (* -- the "exactly the effect of U" property -------------------------------------- *)
 
 let gen_delta =
@@ -226,6 +284,7 @@ let () =
           Alcotest.test_case "entity ops" `Quick test_translate_simple;
           Alcotest.test_case "association ops" `Quick test_translate_link_ops;
           Alcotest.test_case "SQL rendering" `Quick test_sql_rendering;
+          Alcotest.test_case "diff_stores FK topology" `Quick test_diff_stores_fk_topology;
           Alcotest.test_case "integrity preserved" `Quick test_store_integrity_after_dml;
           prop_exact_effect;
         ] );

@@ -153,10 +153,19 @@ let test_incremental_equiv_by_containment () =
   let vi = Option.get (Query.View.entity_view st.Core.State.query_views "Employee") in
   let vf = Option.get (Query.View.entity_view full.Fullc.Compile.query_views "Employee") in
   let keys q = Query.Algebra.project_cols [ "Id" ] q in
-  checkb "key sets agree (inc ⊆ full)" true
-    (Containment.Check.holds env (keys vi.Query.View.query) (keys vf.Query.View.query));
-  checkb "key sets agree (full ⊆ inc)" true
-    (Containment.Check.holds env (keys vf.Query.View.query) (keys vi.Query.View.query))
+  let obls =
+    [
+      Containment.Obligation.make ~name:"equiv.keys.inc-in-full" ~env
+        ~lhs:(keys vi.Query.View.query) ~rhs:(keys vf.Query.View.query)
+        ~on_fail:"incremental key set not contained in the full compiler's";
+      Containment.Obligation.make ~name:"equiv.keys.full-in-inc" ~env
+        ~lhs:(keys vf.Query.View.query) ~rhs:(keys vi.Query.View.query)
+        ~on_fail:"full compiler's key set not contained in the incremental's";
+    ]
+  in
+  match Containment.Discharge.run obls with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "key sets disagree: %s" (Containment.Validation_error.show e)
 
 (* -- pretty printing total on all compiled views ------------------------------ *)
 
@@ -188,11 +197,24 @@ let test_chase () =
   let rhs =
     project_cols [ "Id" ] (Select (C.Is_of "Employee", Scan (Entity_set "Persons")))
   in
-  checkb "endpoint ⊆ entity keys (chased)" true (Containment.Check.holds env lhs rhs);
+  let chased =
+    Containment.Obligation.make ~name:"chase.endpoint-keys" ~env ~lhs ~rhs
+      ~on_fail:"Supports' Employee endpoint not contained in the entity keys"
+  in
+  checkb "endpoint ⊆ entity keys (chased)" true
+    (Result.is_ok (Containment.Discharge.run [ chased ]));
   let rhs_bad =
     project_cols [ "Id" ] (Select (C.Is_of_only "Person", Scan (Entity_set "Persons")))
   in
-  checkb "endpoint ⊄ unrelated region" false (Containment.Check.holds env lhs rhs_bad)
+  let unrelated =
+    Containment.Obligation.make ~name:"chase.unrelated-region" ~env ~lhs ~rhs:rhs_bad
+      ~on_fail:"endpoint must not be provable inside the Person-only region"
+  in
+  match Containment.Discharge.run [ unrelated ] with
+  | Ok () -> Alcotest.fail "containment in the unrelated region unexpectedly proven"
+  | Error e ->
+      checkb "failure names the obligation" true
+        (Containment.Validation_error.obligation e = Some "chase.unrelated-region")
 
 let () =
   Alcotest.run "integration"
