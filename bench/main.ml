@@ -9,6 +9,7 @@
      par   — obligation-discharge jobs sweep (1/2/4); writes BENCH_par.json
      obs   — per-phase span breakdown via lib/obs; writes BENCH_obs.json
      ivm   — update-translation scaling, IVM vs full diff; writes BENCH_ivm.json
+     exec  — physical execution vs naive evaluation; writes BENCH_exec.json
 
    `dune exec bench/main.exe` runs everything; pass a subset of the mode
    names to restrict, and `--chain-size N` to scale the Fig. 9 model. *)
@@ -39,6 +40,10 @@ let pp_seconds fmt s =
   else Format.fprintf fmt "%8.2fs " s
 
 let header title = Printf.printf "\n=== %s ===\n%!" title
+
+let write_bench_json ~path ~label content =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content);
+  Printf.printf "\n%s written to %s\n%!" label path
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 2: the query view of the running example, compiled             *)
@@ -91,6 +96,39 @@ let paper_pipeline () =
     ]
   in
   ok_v (Core.Engine.apply_all st smos)
+
+(* A client state with [n] entities over the paper pipeline's schema: a third
+   each of plain Persons, Employees and Customers, plus Supports links
+   pairing customers with employees.  Shared by the ivm and exec modes. *)
+let paper_instance n =
+  let open Datum in
+  let third = max 1 (n / 3) in
+  let base = ref Edm.Instance.empty in
+  for i = 0 to third - 1 do
+    base :=
+      Edm.Instance.add_entity ~set:"Persons"
+        (Edm.Instance.entity ~etype:"Person"
+           [ ("Id", Value.Int i); ("Name", Value.String (Printf.sprintf "p%d" i)) ])
+        !base;
+    base :=
+      Edm.Instance.add_entity ~set:"Persons"
+        (Edm.Instance.entity ~etype:"Employee"
+           [ ("Id", Value.Int (i + third)); ("Name", Value.String (Printf.sprintf "e%d" i));
+             ("Department", Value.String (if i mod 2 = 0 then "Sales" else "Support")) ])
+        !base;
+    base :=
+      Edm.Instance.add_entity ~set:"Persons"
+        (Edm.Instance.entity ~etype:"Customer"
+           [ ("Id", Value.Int (i + (2 * third))); ("Name", Value.String (Printf.sprintf "c%d" i));
+             ("CredScore", Value.Int (500 + i)); ("BillAddr", Value.String "1 Oak St") ])
+        !base;
+    base :=
+      Edm.Instance.add_link ~assoc:"Supports"
+        (Row.of_list
+           [ ("Customer.Id", Value.Int (i + (2 * third))); ("Employee.Id", Value.Int (i + third)) ])
+        !base
+  done;
+  !base
 
 let fig2 () =
   header "Fig. 2 -- query view of the Fig. 1 mapping, compiled incrementally";
@@ -390,9 +428,7 @@ let par () =
         (Printf.sprintf "\n    { \"jobs\": %d, \"seconds\": %.6f, \"verdict\": %S }" jobs dt v))
     sweep;
   Buffer.add_string buf "\n  ]\n}\n";
-  Out_channel.with_open_text "BENCH_par.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  Printf.printf "\njobs sweep written to BENCH_par.json\n%!"
+  write_bench_json ~path:"BENCH_par.json" ~label:"jobs sweep" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* Per-phase span breakdown (lib/obs): where the compile time goes.    *)
@@ -455,9 +491,7 @@ let obs_report ~chain_size () =
       Buffer.add_string buf "\n    ] }")
     (obs_workloads ~chain_size);
   Buffer.add_string buf "\n  ]\n}\n";
-  Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  Printf.printf "\nper-phase aggregates written to BENCH_obs.json\n%!"
+  write_bench_json ~path:"BENCH_obs.json" ~label:"per-phase aggregates" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* IVM: update-translation cost, O(delta) vs O(instance) (E9).         *)
@@ -473,37 +507,6 @@ let ivm () =
     (ok (Fullc.Compile.compile ~validate:false env frags)).Fullc.Compile.update_views
   in
   let open Datum in
-  (* A client state with [n] entities: a third each of plain Persons,
-     Employees and Customers, plus Supports links pairing them up. *)
-  let instance n =
-    let third = max 1 (n / 3) in
-    let base = ref Edm.Instance.empty in
-    for i = 0 to third - 1 do
-      base :=
-        Edm.Instance.add_entity ~set:"Persons"
-          (Edm.Instance.entity ~etype:"Person"
-             [ ("Id", Value.Int i); ("Name", Value.String (Printf.sprintf "p%d" i)) ])
-          !base;
-      base :=
-        Edm.Instance.add_entity ~set:"Persons"
-          (Edm.Instance.entity ~etype:"Employee"
-             [ ("Id", Value.Int (i + third)); ("Name", Value.String (Printf.sprintf "e%d" i));
-               ("Department", Value.String (if i mod 2 = 0 then "Sales" else "Support")) ])
-          !base;
-      base :=
-        Edm.Instance.add_entity ~set:"Persons"
-          (Edm.Instance.entity ~etype:"Customer"
-             [ ("Id", Value.Int (i + (2 * third))); ("Name", Value.String (Printf.sprintf "c%d" i));
-               ("CredScore", Value.Int (500 + i)); ("BillAddr", Value.String "1 Oak St") ])
-          !base;
-      base :=
-        Edm.Instance.add_link ~assoc:"Supports"
-          (Row.of_list
-             [ ("Customer.Id", Value.Int (i + (2 * third))); ("Employee.Id", Value.Int (i + third)) ])
-          !base
-    done;
-    !base
-  in
   (* The measured update: insert [d] fresh Customers; its inverse deletes
      them again.  Measuring the insert/delete pair on a threaded handle
      leaves the state unchanged between repetitions, so Bechamel can run the
@@ -530,7 +533,7 @@ let ivm () =
   let results =
     List.concat_map
       (fun n ->
-        let inst = instance n in
+        let inst = paper_instance n in
         let inc0 = ok (Dml.Translate.ivm_init env uv inst) in
         List.map
           (fun d ->
@@ -594,9 +597,110 @@ let ivm () =
            (ivm_hi /. ivm_lo <= 2.0))
   | _ -> ());
   Buffer.add_string buf "\n}\n";
-  Out_channel.with_open_text "BENCH_ivm.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  Printf.printf "\nscaling sweep written to BENCH_ivm.json\n%!"
+  write_bench_json ~path:"BENCH_ivm.json" ~label:"scaling sweep" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Physical execution: lib/exec plans vs Query.Eval.rows (E10).        *)
+(* ------------------------------------------------------------------ *)
+
+let exec_bench () =
+  header "Exec -- physical plans (hash joins, indexed scans) vs naive evaluation";
+  let ok = function Ok x -> x | Error e -> failwith e in
+  let st = paper_pipeline () in
+  let env = st.Core.State.env in
+  let module A = Query.Algebra in
+  let point_id n = (max 1 (n / 3)) + 1 (* an Employee id with a Supports link *) in
+  let shapes n =
+    [
+      ( "point",
+        A.Select
+          (Query.Cond.Cmp ("Employee.Id", Query.Cond.Eq, Datum.Value.Int (point_id n)),
+           A.Scan (A.Assoc_set "Supports")) );
+      ( "join",
+        A.Join
+          ( A.project_renamed [ ("Id", "Employee.Id"); ("Name", "Name") ]
+              (A.Scan (A.Entity_set "Persons")),
+            A.Scan (A.Assoc_set "Supports"),
+            [ "Employee.Id" ] ) );
+      ( "union",
+        A.project_cols [ "Id"; "Name"; "CredScore" ]
+          (A.Select (Query.Cond.Is_of "Customer", A.Scan (A.Entity_set "Persons"))) );
+    ]
+  in
+  let sizes = [ 200; 800; 3200 ] in
+  Printf.printf "model: paper stage 4; shapes: assoc point lookup, 2-way join, IS OF flattening\n\n%!";
+  Printf.printf "%9s %-6s %12s %12s %12s %10s %10s\n%!" "instance" "shape" "naive" "exec j=1"
+    "exec j=4" "naive/j1" "idx scans";
+  let results =
+    List.concat_map
+      (fun n ->
+        let inst = paper_instance n in
+        let store = ok (Query.View.apply_update_views env st.Core.State.update_views inst) in
+        let db = Query.Eval.store_db store in
+        List.map
+          (fun (shape, q) ->
+            let unfolded = ok (Query.Unfold.client_query env st.Core.State.query_views q) in
+            let plan = ok (Exec.Planner.plan env unfolded) in
+            let idb = Exec.Idb.make env db in
+            (* one warm run builds row arrays and indexes, and cross-checks *)
+            let exec_rows = Exec.Run.rows idb plan in
+            let naive_rows, naive_dt = wall (fun () -> Query.Eval.rows env db unfolded) in
+            let sorted = List.sort Datum.Row.compare in
+            if not (List.equal Datum.Row.equal (sorted naive_rows) (sorted exec_rows)) then
+              failwith (Printf.sprintf "exec/%s disagrees with Eval.rows at n=%d" shape n);
+            let j1_ns =
+              measure_ns (Printf.sprintf "exec1-%s-%d" shape n) (fun () ->
+                  ignore (Exec.Run.rows idb plan))
+            in
+            let j4_ns =
+              measure_ns (Printf.sprintf "exec4-%s-%d" shape n) (fun () ->
+                  ignore (Exec.Run.rows ~jobs:4 ~par_threshold:256 idb plan))
+            in
+            let naive_ns = naive_dt *. 1e9 in
+            Printf.printf "%9d %-6s %12s %12s %12s %9.1fx %10d\n%!" n shape
+              (Format.asprintf "%a" pp_seconds naive_dt)
+              (Format.asprintf "%a" pp_seconds (j1_ns /. 1e9))
+              (Format.asprintf "%a" pp_seconds (j4_ns /. 1e9))
+              (naive_ns /. j1_ns) (Exec.Plan.index_scans plan);
+            (n, shape, naive_ns, j1_ns, j4_ns))
+          (shapes n))
+      sizes
+  in
+  (* Acceptance (ISSUE 4): the physical engine beats Eval.rows by >= 5x on
+     the 2-way join at the largest instance size. *)
+  let hi = List.nth sizes (List.length sizes - 1) in
+  let accept =
+    List.find_opt (fun (n, shape, _, _, _) -> n = hi && shape = "join") results
+  in
+  (match accept with
+  | Some (_, _, naive_ns, j1_ns, _) ->
+      Printf.printf "\n2-way join at n=%d: naive/exec = %.1fx (target >= 5x: %s)\n%!" hi
+        (naive_ns /. j1_ns)
+        (if naive_ns /. j1_ns >= 5.0 then "PASS" else "FAIL")
+  | None -> ());
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"model\": \"paper-stage4\",\n  \"rows\": [";
+  List.iteri
+    (fun i (n, shape, naive_ns, j1_ns, j4_ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"instance\": %d, \"shape\": %S, \"naive_ns\": %.1f, \"exec_jobs1_ns\": \
+            %.1f, \"exec_jobs4_ns\": %.1f }"
+           n shape naive_ns j1_ns j4_ns))
+    results;
+  Buffer.add_string buf "\n  ]";
+  (match accept with
+  | Some (_, _, naive_ns, j1_ns, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n  \"acceptance\": { \"join_instance\": %d, \"naive_over_exec1\": %.2f, \
+            \"pass\": %b }"
+           hi (naive_ns /. j1_ns)
+           (naive_ns /. j1_ns >= 5.0))
+  | None -> ());
+  Buffer.add_string buf "\n}\n";
+  write_bench_json ~path:"BENCH_exec.json" ~label:"execution sweep" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 
@@ -612,11 +716,12 @@ let () =
   in
   let modes =
     List.filter
-      (fun a -> List.mem a [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm" ])
+      (fun a ->
+        List.mem a [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm"; "exec" ])
       args
   in
   let modes =
-    if modes = [] then [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm" ]
+    if modes = [] then [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm"; "exec" ]
     else modes
   in
   List.iter
@@ -629,5 +734,6 @@ let () =
       | "par" -> par ()
       | "obs" -> obs_report ~chain_size ()
       | "ivm" -> ivm ()
+      | "exec" -> exec_bench ()
       | _ -> ())
     modes

@@ -341,7 +341,17 @@ let query_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"QUERY" ~doc:"e.g. \"select Id, Name from Persons where is of Employee\"")
   in
-  let run name file size data qtext =
+  let plan_flag =
+    Arg.(value & flag
+         & info [ "plan" ] ~doc:"Print the physical plan the execution engine would run.")
+  in
+  let exec_flag =
+    Arg.(value & flag
+         & info [ "exec" ]
+             ~doc:"Execute the physical plan against the store instance derived from --data and \
+                   cross-check it against the naive evaluator.")
+  in
+  let run name file size data qtext plan exec jobs =
     let env, frags, loaded = load_input ~model:name ~file ~size in
     let st = state_of ~env ~frags loaded in
     let env = st.Core.State.env in
@@ -350,8 +360,18 @@ let query_cmd =
     let unfolded = ok (Query.Unfold.client_query env st.Core.State.query_views q) in
     Format.printf "-- client query@.%a@.@.-- unfolds over the store to@.%a@." Query.Pretty.query q
       Query.Pretty.query unfolded;
+    let phys =
+      if plan || exec then Some (ok (Exec.Planner.plan env unfolded)) else None
+    in
+    (match phys with
+    | Some p when plan -> Format.printf "@.-- physical plan@.%s" (Exec.Plan.show p)
+    | Some _ | None -> ());
     match data with
-    | None -> ()
+    | None ->
+        if exec then begin
+          Printf.eprintf "error: --exec needs a store instance; pass --data FILE\n";
+          exit 1
+        end
     | Some path ->
         let inst = ok (Surface.Elaborate.data env (ok (Surface.Parser.data (read_file path)))) in
         let store = ok (Query.View.apply_update_views env st.Core.State.update_views inst) in
@@ -360,11 +380,37 @@ let query_cmd =
         Format.printf "@.-- rows (over %s)@." path;
         List.iter (fun r -> Format.printf "%a@." Datum.Row.pp r) client_rows;
         Format.printf "@.client-side and store-side evaluation agree: %b@."
-          (List.equal Datum.Row.equal client_rows store_rows)
+          (List.equal Datum.Row.equal client_rows store_rows);
+        match phys with
+        | Some p when exec ->
+            let jobs =
+              match jobs with Some j -> j | None -> Containment.Discharge.default_jobs ()
+            in
+            let db = Query.Eval.store_db store in
+            let idb = Exec.Idb.make env db in
+            let before = Obs.Metric.snapshot () in
+            let t0 = Unix.gettimeofday () in
+            let exec_rows = Exec.Run.rows ~jobs idb p in
+            let dt = Unix.gettimeofday () -. t0 in
+            let delta = Obs.Metric.diff before (Obs.Metric.snapshot ()) in
+            let naive = List.sort Datum.Row.compare (Query.Eval.rows env db unfolded) in
+            let agree =
+              List.equal Datum.Row.equal naive (List.sort Datum.Row.compare exec_rows)
+            in
+            Format.printf "@.-- physical execution (jobs=%d)@." jobs;
+            Format.printf "%d rows in %.3f ms; agrees with naive evaluation: %b@."
+              (List.length exec_rows) (dt *. 1000.) agree;
+            List.iter
+              (fun (name, v) ->
+                if v <> 0 && String.length name >= 5 && String.sub name 0 5 = "exec." then
+                  Format.printf "  %-24s %d@." name v)
+              delta.Obs.Metric.counters
+        | Some _ | None -> ()
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Translate (and optionally evaluate) a client query by view unfolding")
-    Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ qtext)
+    Term.(const run $ model_arg $ file_arg $ size_arg $ data_arg $ qtext $ plan_flag $ exec_flag
+          $ jobs_arg)
 
 let dml_cmd =
   let script_arg =

@@ -7,6 +7,17 @@ type event =
 
 type ivm_cache = (Query.View.update_views * Ivm.Plan.t) option ref
 
+module Query_map = Map.Make (struct
+  type t = Query.Algebra.t
+
+  let compare = Query.Algebra.compare
+end)
+
+(* Compiled physical plans, bucketed by the query views they were unfolded
+   over.  Keeping a bounded list of recent generations (instead of only the
+   newest) means undo/redo and rollback land back on cached plans. *)
+type exec_cache = (Query.View.query_views * Exec.Plan.t Query_map.t) list ref
+
 type t = {
   initial : State.t;
   past : (State.t * entry) list;        (* newest first; state BEFORE the smo *)
@@ -16,11 +27,12 @@ type t = {
   checkpoints : (string * int) list;    (* name -> [depth] at the mark *)
   events : event list;                  (* newest first *)
   ivm_cache : ivm_cache;                (* shared across derived sessions *)
+  exec_cache : exec_cache;              (* shared across derived sessions *)
 }
 
 let start present =
   { initial = present; past = []; depth = 0; present; future = []; checkpoints = [];
-    events = []; ivm_cache = ref None }
+    events = []; ivm_cache = ref None; exec_cache = ref [] }
 
 let current t = t.present
 
@@ -100,6 +112,38 @@ let ivm_plan t =
           t.ivm_cache := Some (uv, plan);
           plan)
         (Ivm.Plan.compile t.present.State.env uv)
+
+let c_plan_hit = Obs.Metric.counter "exec.plan.cache.hit"
+let c_plan_miss = Obs.Metric.counter "exec.plan.cache.miss"
+let max_exec_generations = 8
+
+let same_query_views a b =
+  a == b
+  || (let eq = List.equal (fun (na, va) (nb, vb) -> String.equal na nb && Query.View.equal va vb) in
+      eq (Query.View.entity_view_bindings a) (Query.View.entity_view_bindings b)
+      && eq (Query.View.assoc_view_bindings a) (Query.View.assoc_view_bindings b))
+
+let query_plan t q =
+  let ( let* ) = Result.bind in
+  let qv = t.present.State.query_views in
+  let gens = !(t.exec_cache) in
+  let generation = List.find_opt (fun (v, _) -> same_query_views v qv) gens in
+  match generation with
+  | Some (_, plans) when Query_map.mem q plans ->
+      Obs.Metric.incr c_plan_hit;
+      Ok (Query_map.find q plans)
+  | Some _ | None ->
+      Obs.Metric.incr c_plan_miss;
+      let* unfolded = Query.Unfold.client_query t.present.State.env qv q in
+      let* plan = Exec.Planner.plan t.present.State.env unfolded in
+      (match generation with
+      | Some ((v, plans) as gen) ->
+          let rest = List.filter (fun g -> g != gen) gens in
+          t.exec_cache := (v, Query_map.add q plan plans) :: rest
+      | None ->
+          let gens = (qv, Query_map.singleton q plan) :: gens in
+          t.exec_cache := List.filteri (fun i _ -> i < max_exec_generations) gens);
+      Ok plan
 
 let log t =
   let b = Buffer.create 256 in

@@ -38,6 +38,16 @@ val rollback_to : name:string -> t -> (t, string) result
 val log : t -> string
 (** A human-readable session transcript: SMOs, timings, checkpoints. *)
 
+val query_plan : t -> Query.Algebra.t -> (Exec.Plan.t, string) result
+(** The physical plan for a client query over the present state: unfolds it
+    through the query views ([Query.Unfold.client_query]) and lowers it with
+    {!Exec.Planner}, memoized inside the session.  Plans are bucketed by the
+    query views they were compiled against, and a bounded number of recent
+    generations is kept, so an SMO that moves the views forces recompilation
+    while undo/redo/rollback land back on cached plans.  The cache is shared
+    by all sessions derived from the same {!start} and reports
+    [exec.plan.cache.hit] / [exec.plan.cache.miss] counters. *)
+
 val ivm_plan : t -> (Ivm.Plan.t, string) result
 (** The IVM dataflow plan compiled from the present state's update views,
     memoized inside the session: recompiled only when an SMO (or undo/redo/

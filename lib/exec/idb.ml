@@ -1,0 +1,91 @@
+let c_index_builds = Obs.Metric.counter "exec.index.builds"
+let c_index_hits = Obs.Metric.counter "exec.index.hits"
+
+module Source_key = struct
+  type t = Query.Algebra.source
+
+  let equal = Query.Algebra.equal_source
+  let hash = Hashtbl.hash
+end
+
+module Source_tbl = Hashtbl.Make (Source_key)
+
+module Value_key = struct
+  type t = Datum.Value.t
+
+  let equal a b = Datum.Value.compare a b = 0
+  let hash = Hashtbl.hash
+end
+
+module Value_tbl = Hashtbl.Make (Value_key)
+
+type index = Datum.Row.t list Value_tbl.t
+
+type t = {
+  env : Query.Env.t;
+  db : Query.Eval.db;
+  rows : Datum.Row.t array Source_tbl.t;
+  indexes : (string, index) Hashtbl.t Source_tbl.t;
+}
+
+let make env db =
+  { env; db; rows = Source_tbl.create 16; indexes = Source_tbl.create 16 }
+
+let env t = t.env
+let db t = t.db
+
+let source_rows t src =
+  match Source_tbl.find_opt t.rows src with
+  | Some arr -> arr
+  | None ->
+      let list =
+        match src with
+        | Query.Algebra.Entity_set s ->
+            List.map
+              (Query.Eval.entity_row t.env s)
+              (Edm.Instance.entities t.db.Query.Eval.client ~set:s)
+        | Query.Algebra.Assoc_set a -> Edm.Instance.links t.db.Query.Eval.client ~assoc:a
+        | Query.Algebra.Table tbl -> Relational.Instance.rows t.db.Query.Eval.store ~table:tbl
+      in
+      let arr = Array.of_list list in
+      Source_tbl.add t.rows src arr;
+      arr
+
+let build_index t src col =
+  let arr = source_rows t src in
+  let idx = Value_tbl.create (max 16 (Array.length arr)) in
+  (* Insert in reverse so each bucket lists rows in scan order. *)
+  for i = Array.length arr - 1 downto 0 do
+    let row = arr.(i) in
+    match Datum.Row.find col row with
+    | Some v when not (Datum.Value.is_null v) ->
+        let bucket = Option.value ~default:[] (Value_tbl.find_opt idx v) in
+        Value_tbl.replace idx v (row :: bucket)
+    | Some _ | None -> ()
+  done;
+  Obs.Metric.incr c_index_builds;
+  idx
+
+let index_for t src col =
+  let per_source =
+    match Source_tbl.find_opt t.indexes src with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Source_tbl.add t.indexes src h;
+        h
+  in
+  match Hashtbl.find_opt per_source col with
+  | Some idx -> idx
+  | None ->
+      let idx = build_index t src col in
+      Hashtbl.add per_source col idx;
+      idx
+
+let lookup t src col v =
+  if Datum.Value.is_null v then []
+  else begin
+    let idx = index_for t src col in
+    Obs.Metric.incr c_index_hits;
+    Option.value ~default:[] (Value_tbl.find_opt idx v)
+  end

@@ -1,0 +1,55 @@
+(** Physical query plans.
+
+    A plan is what {!Planner} lowers a {!Query.Algebra} tree into and what
+    {!Run} executes: scans annotated with an access path (full or hash-index
+    probe), a residual filter and an optionally fused projection; hash joins
+    with precomputed outer-join padding; a nested-loop fallback for joins
+    without equality columns; and bag union.  The executor's semantics on any
+    plan produced by {!Planner} equal [Query.Eval.rows] on the source query,
+    as bags. *)
+
+type join_kind = Inner | Left | Full
+
+type access =
+  | Full_scan
+  | Index_eq of { col : string; value : Datum.Value.t }
+      (** Probe the hash index on [col] for [value]; rows whose [col] is
+          [NULL] are never returned, and a [NULL] probe value returns
+          nothing — exactly the semantics of [σ(col = value)]. *)
+
+type node =
+  | Scan of {
+      source : Query.Algebra.source;
+      access : access;
+      filter : Query.Cond.t;  (** residual predicate; [True] when absent *)
+      proj : Query.Algebra.proj_item list option;
+          (** fused projection, applied after [filter] *)
+    }
+  | Filter of Query.Cond.t * node
+  | Project of Query.Algebra.proj_item list * node
+  | Hash_join of join  (** equi-join: build on [right], probe from [left] *)
+  | Nested_loop of join  (** fallback, used when [on] is empty *)
+  | Append of node * node  (** UNION ALL *)
+
+and join = {
+  kind : join_kind;
+  on : string list;
+  left : node;
+  right : node;
+  left_pad : string list;
+      (** right-side-only columns NULL-padded onto unmatched left rows
+          ([Left]/[Full]) *)
+  right_pad : string list;
+      (** left-side-only columns NULL-padded onto unmatched right rows
+          ([Full] only) *)
+}
+
+type t = node
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+(** An indented EXPLAIN-style tree, one operator per line. *)
+
+val index_scans : t -> int
+(** Number of [Index_eq] access paths in the plan (for tests and EXPLAIN
+    summaries). *)

@@ -1,0 +1,149 @@
+module A = Query.Algebra
+module C = Query.Cond
+
+let ( let* ) = Result.bind
+
+(* Split a condition into its top-level conjuncts. *)
+let rec conjuncts = function
+  | C.True -> []
+  | C.And (a, b) -> conjuncts a @ conjuncts b
+  | c -> [ c ]
+
+(* Columns a conjunct reads, counting the type column for type atoms. *)
+let cond_columns c =
+  let cols = C.columns c in
+  if C.type_atoms c = [] then cols else Query.Env.type_column :: cols
+
+let subset cols within = List.for_all (fun c -> List.mem c within) cols
+
+(* Columns of a source on which Idb can build an equality index: primary
+   keys, foreign keys and association end columns. *)
+let indexable_columns (env : Query.Env.t) = function
+  | A.Table t -> (
+      match Relational.Schema.find_table env.store t with
+      | None -> []
+      | Some tbl ->
+          tbl.Relational.Table.key
+          @ List.concat_map
+              (fun fk -> fk.Relational.Table.fk_columns)
+              tbl.Relational.Table.fks)
+  | A.Entity_set s -> (
+      match Edm.Schema.set_root env.client s with
+      | None -> []
+      | Some root -> Edm.Schema.key_of env.client root)
+  | A.Assoc_set a -> (
+      match Edm.Schema.find_association env.client a with
+      | None -> []
+      | Some assoc -> Edm.Schema.association_columns env.client assoc)
+
+(* Pick the first [col = v] conjunct over an indexable column as the access
+   path; everything else stays a residual filter. *)
+let pick_index env src filters =
+  let indexable = indexable_columns env src in
+  let rec go acc = function
+    | [] -> (Plan.Full_scan, List.rev acc)
+    | C.Cmp (col, C.Eq, v) :: rest when List.mem col indexable ->
+        (Plan.Index_eq { col; value = v }, List.rev_append acc rest)
+    | f :: rest -> go (f :: acc) rest
+  in
+  go [] filters
+
+(* Can [c] be evaluated below a projection?  Every referenced column must
+   come straight from a [Col] item (renamed back to its source); type atoms
+   additionally need the type column passed through unrenamed. *)
+let push_through_projection items c =
+  let col_src dst =
+    List.find_map
+      (function
+        | A.Col { src; dst = d } when String.equal d dst -> Some src
+        | A.Col _ | A.Const _ | A.Coalesce _ -> None)
+      items
+  in
+  let type_ok =
+    C.type_atoms c = []
+    || (match col_src Query.Env.type_column with
+       | Some src -> String.equal src Query.Env.type_column
+       | None -> false)
+  in
+  if not type_ok then None
+  else
+    let cols = C.columns c in
+    let renames =
+      List.filter_map (fun dst -> Option.map (fun src -> (dst, src)) (col_src dst)) cols
+    in
+    if List.length renames = List.length cols then Some (C.rename_columns renames c)
+    else None
+
+let wrap_residual filters node =
+  match filters with [] -> node | fs -> Plan.Filter (C.conj fs, node)
+
+let rec lower env filters q =
+  match q with
+  | A.Select (c, q) -> lower env (conjuncts c @ filters) q
+  | A.Scan src ->
+      let access, residual = pick_index env src filters in
+      Plan.Scan { source = src; access; filter = C.conj residual; proj = None }
+  | A.Project (items, q) ->
+      let pushed, residual =
+        List.fold_left
+          (fun (pushed, residual) f ->
+            match push_through_projection items f with
+            | Some f' -> (f' :: pushed, residual)
+            | None -> (pushed, f :: residual))
+          ([], []) filters
+      in
+      let inner = lower env (List.rev pushed) q in
+      let node =
+        match inner with
+        | Plan.Scan ({ proj = None; _ } as s) -> Plan.Scan { s with proj = Some items }
+        | inner -> Plan.Project (items, inner)
+      in
+      wrap_residual (List.rev residual) node
+  | A.Join (l, r, on) -> lower_join env filters Plan.Inner l r on
+  | A.Left_outer_join (l, r, on) -> lower_join env filters Plan.Left l r on
+  | A.Full_outer_join (l, r, on) -> lower_join env filters Plan.Full l r on
+  | A.Union_all (l, r) -> Plan.Append (lower env filters l, lower env filters r)
+
+and lower_join env filters kind l r on =
+  let lcols = A.columns env l and rcols = A.columns env r in
+  let to_left, to_right, residual =
+    List.fold_left
+      (fun (tl, tr, res) f ->
+        let cols = cond_columns f in
+        match kind with
+        | Plan.Inner ->
+            if subset cols lcols then (f :: tl, tr, res)
+            else if subset cols rcols then (tl, f :: tr, res)
+            else (tl, tr, f :: res)
+        | Plan.Left ->
+            (* only the preserved side; right-side rows are NULL-padded *)
+            if subset cols lcols then (f :: tl, tr, res) else (tl, tr, f :: res)
+        | Plan.Full -> (tl, tr, f :: res))
+      ([], [], []) filters
+  in
+  let not_on c = not (List.mem c on) in
+  let left_pad =
+    match kind with
+    | Plan.Inner -> []
+    | Plan.Left | Plan.Full -> List.filter not_on rcols
+  in
+  let right_pad =
+    match kind with Plan.Inner | Plan.Left -> [] | Plan.Full -> List.filter not_on lcols
+  in
+  let join =
+    {
+      Plan.kind;
+      on;
+      left = lower env (List.rev to_left) l;
+      right = lower env (List.rev to_right) r;
+      left_pad;
+      right_pad;
+    }
+  in
+  let node = if on = [] then Plan.Nested_loop join else Plan.Hash_join join in
+  wrap_residual (List.rev residual) node
+
+let plan env q =
+  Obs.Span.with_ ~name:"exec.plan" (fun () ->
+      let* _cols = A.infer env q in
+      Ok (lower env [] (Query.Simplify.query env q)))

@@ -233,6 +233,25 @@ let test_ctor_guard () =
   check Alcotest.(list string) "types constructed" [ "Customer"; "Employee"; "Person" ]
     (Query.Ctor.types_constructed sample_ctor)
 
+(* Unfolding a type test over a projection that dropped the provenance
+   machinery must fail with the type-erasing diagnostic, not silently
+   produce a wrong store query. *)
+let test_unfold_type_erasing_error () =
+  let c =
+    ok_exn (Fullc.Compile.compile ~validate:false env pe.Workload.Paper_example.fragments)
+  in
+  let qv = c.Fullc.Compile.query_views in
+  let good = A.Select (C.Is_of "Employee", persons) in
+  (match Query.Unfold.client_query env qv good with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "type test directly over a scan should unfold: %s" e);
+  let bad = A.Select (C.Is_of "Employee", A.project_cols [ "Id" ] persons) in
+  match Query.Unfold.client_query env qv bad with
+  | Ok q -> Alcotest.failf "expected a type-erasing error, got %s" (A.show q)
+  | Error e ->
+      checkb "names the type test" true (contains ~sub:"IS OF Employee" e);
+      checkb "names the erasing operator" true (contains ~sub:"type-erasing" e)
+
 let () =
   Alcotest.run "query"
     [
@@ -258,6 +277,9 @@ let () =
       ( "simplify",
         [ Alcotest.test_case "semantics preserved" `Quick test_simplify_queries ] );
       ( "pretty", [ Alcotest.test_case "rendering" `Quick test_pretty ] );
+      ( "unfold",
+        [ Alcotest.test_case "type test above a type-erasing projection" `Quick
+            test_unfold_type_erasing_error ] );
       ( "ctor",
         [
           Alcotest.test_case "evaluation" `Quick test_ctor_eval;
