@@ -8,6 +8,7 @@
      ablation — design-choice measurements called out in DESIGN.md
      par   — obligation-discharge jobs sweep (1/2/4); writes BENCH_par.json
      obs   — per-phase span breakdown via lib/obs; writes BENCH_obs.json
+     lint  — static lint vs full validation (E11); writes BENCH_lint.json
      ivm   — update-translation scaling, IVM vs full diff; writes BENCH_ivm.json
      exec  — physical execution vs naive evaluation; writes BENCH_exec.json
 
@@ -703,6 +704,69 @@ let exec_bench () =
   write_bench_json ~path:"BENCH_exec.json" ~label:"execution sweep" (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
+(* E11: static lint vs obligation-based validation.                    *)
+(* ------------------------------------------------------------------ *)
+
+let lint_bench () =
+  header "Lint -- static analysis wall-time vs obligation-based validation (E11)";
+  let ok = function Ok x -> x | Error e -> failwith e in
+  let models =
+    [
+      ( "paper",
+        fun () ->
+          let s = Workload.Paper_example.stage4 in
+          (s.Workload.Paper_example.env, s.Workload.Paper_example.fragments) );
+      ("chain-100", fun () -> Workload.Chain.generate ~size:100);
+      ("hub-rim", fun () -> Workload.Hub_rim.generate ~n:2 ~m:3 ~style:`Tph);
+      ("hub-rim-tpt", fun () -> Workload.Hub_rim.generate ~n:2 ~m:3 ~style:`Tpt);
+      ("customer", fun () -> Workload.Customer.generate ());
+    ]
+  in
+  Printf.printf "%-12s %12s %12s %10s %7s\n%!" "model" "lint" "validate" "val/lint" "diags";
+  let rows =
+    List.map
+      (fun (name, gen) ->
+        let env, frags = gen () in
+        let c = ok (Fullc.Compile.compile ~validate:false env frags) in
+        let views = (c.Fullc.Compile.query_views, c.Fullc.Compile.update_views) in
+        let diags, lint_dt = wall (fun () -> Lint.Analyze.run ~views env frags) in
+        let _, val_dt =
+          wall (fun () -> ok (Fullc.Validate.run env frags c.Fullc.Compile.update_views))
+        in
+        Printf.printf "%-12s %12s %12s %9.1fx %7d\n%!" name
+          (Format.asprintf "%a" pp_seconds lint_dt)
+          (Format.asprintf "%a" pp_seconds val_dt)
+          (val_dt /. lint_dt) (List.length diags);
+        (name, lint_dt, val_dt, List.length diags))
+      models
+  in
+  (* Acceptance (ISSUE 6): linting the seed model suite is >= 50x faster
+     than the obligation-based validation it screens for. *)
+  let total_lint = List.fold_left (fun a (_, l, _, _) -> a +. l) 0. rows in
+  let total_val = List.fold_left (fun a (_, _, v, _) -> a +. v) 0. rows in
+  let speedup = total_val /. total_lint in
+  Printf.printf "\nsuite: lint %.1f ms, validate %.1f ms -> %.1fx (target >= 50x: %s)\n%!"
+    (total_lint *. 1e3) (total_val *. 1e3) speedup
+    (if speedup >= 50. then "PASS" else "FAIL");
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"rows\": [";
+  List.iteri
+    (fun i (name, lint_dt, val_dt, diags) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"model\": %S, \"lint_ms\": %.3f, \"validate_ms\": %.3f, \"speedup\": \
+            %.1f, \"diags\": %d }"
+           name (lint_dt *. 1e3) (val_dt *. 1e3) (val_dt /. lint_dt) diags))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"suite\": { \"lint_ms\": %.3f, \"validate_ms\": %.3f, \"speedup\": %.1f, \
+        \"pass\": %b }\n}\n"
+       (total_lint *. 1e3) (total_val *. 1e3) speedup (speedup >= 50.));
+  write_bench_json ~path:"BENCH_lint.json" ~label:"lint sweep" (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -717,11 +781,13 @@ let () =
   let modes =
     List.filter
       (fun a ->
-        List.mem a [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm"; "exec" ])
+        List.mem a
+          [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm"; "exec"; "lint" ])
       args
   in
   let modes =
-    if modes = [] then [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm"; "exec" ]
+    if modes = [] then
+      [ "fig2"; "fig4"; "fig9"; "fig10"; "ablation"; "par"; "obs"; "ivm"; "exec"; "lint" ]
     else modes
   in
   List.iter
@@ -735,5 +801,6 @@ let () =
       | "obs" -> obs_report ~chain_size ()
       | "ivm" -> ivm ()
       | "exec" -> exec_bench ()
+      | "lint" -> lint_bench ()
       | _ -> ())
     modes

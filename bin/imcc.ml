@@ -540,6 +540,53 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Run full mapping validation (roundtripping safety checks)")
     Term.(const run $ model_arg $ file_arg $ size_arg $ jobs_arg $ trace_arg $ profile_arg)
 
+let lint_cmd =
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,text) (one finding per line plus a summary) or \
+                   $(b,json) (the machine-readable CI artifact).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit non-zero on warning-severity findings too, not just errors.")
+  in
+  let run name file size format strict trace profile =
+    with_obs ~trace ~profile @@ fun () ->
+    let env, frags, loaded = load_input ~model:name ~file ~size in
+    let t0 = Unix.gettimeofday () in
+    (* The view passes need compiled views; a loaded state already carries
+       them, otherwise generate without validation — lint is the cheap path,
+       it must not pay the obligation engine.  If generation itself fails,
+       lint still reports the mapping-level passes plus an L000 notice. *)
+    let views, extra =
+      match loaded with
+      | Some st -> (Some (st.Core.State.query_views, st.Core.State.update_views), [])
+      | None -> (
+          match Fullc.Compile.compile ~validate:false env frags with
+          | Ok c -> (Some (c.Fullc.Compile.query_views, c.Fullc.Compile.update_views), [])
+          | Error e ->
+              ( None,
+                [ Lint.Diag.makef ~code:"L000" ~severity:Lint.Diag.Warning ~loc:Lint.Diag.Model
+                    "view generation failed, view passes skipped: %s" e ] ))
+    in
+    let ds = Lint.Diag.sort (extra @ Lint.Analyze.run ?views env frags) in
+    let dt = Unix.gettimeofday () -. t0 in
+    (match format with
+    | `Text ->
+        print_string (Lint.Diag.to_text ds);
+        Printf.printf "lint completed in %.2f ms\n" (dt *. 1000.)
+    | `Json -> print_string (Lint.Diag.to_json ds));
+    let errs, warns, _ = Lint.Diag.count ds in
+    if errs > 0 || (strict && warns > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static mapping analyzer (cheap syntactic diagnostics, no obligation \
+             discharge); the exit code gates CI")
+    Term.(const run $ model_arg $ file_arg $ size_arg $ format_arg $ strict_arg $ trace_arg
+          $ profile_arg)
+
 let diff_cmd =
   let target_arg =
     Arg.(required & opt (some string) None
@@ -587,4 +634,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ models_cmd; show_cmd; compile_cmd; evolve_cmd; roundtrip_cmd; query_cmd; dml_cmd;
-            apply_cmd; validate_cmd; diff_cmd ]))
+            apply_cmd; validate_cmd; lint_cmd; diff_cmd ]))

@@ -28,6 +28,17 @@ let apply ?jobs st smo =
         ~attrs:[ ("kind", Smo.name smo); ("smo", Smo.show smo) ]
         (fun () -> dispatch ?jobs st smo)
   in
+  (* Debug/CI guard: the incremental compiler must only ever produce
+     structurally well-formed views — a [Lint.Wf] finding here is a compiler
+     bug, surfaced as a validation error tagged with the SMO. *)
+  let result =
+    match result with
+    | Ok st' when Lint.Wf.enabled () -> (
+        match Lint.Wf.gate st'.State.env st'.State.query_views st'.State.update_views with
+        | Ok () -> Ok st'
+        | Error m -> Error (Containment.Validation_error.msg m))
+    | r -> r
+  in
   Result.map_error (Containment.Validation_error.with_smo (Smo.name smo)) result
 
 let apply_all ?jobs st smos =

@@ -18,6 +18,14 @@ end)
    newest) means undo/redo and rollback land back on cached plans. *)
 type exec_cache = (Query.View.query_views * Exec.Plan.t Query_map.t) list ref
 
+module Frag_map = Map.Make (Mapping.Fragment)
+
+(* Per-fragment lint verdicts, keyed by the fragment and guarded by its
+   context digest (target table + source hierarchy signature).  An SMO only
+   dirties the fragments whose context it actually moved; undo/redo and
+   rollback land back on cached verdicts because old digests match again. *)
+type lint_cache = (Lint.Passes.frag_ctx * Lint.Diag.t list) Frag_map.t ref
+
 type t = {
   initial : State.t;
   past : (State.t * entry) list;        (* newest first; state BEFORE the smo *)
@@ -28,11 +36,12 @@ type t = {
   events : event list;                  (* newest first *)
   ivm_cache : ivm_cache;                (* shared across derived sessions *)
   exec_cache : exec_cache;              (* shared across derived sessions *)
+  lint_cache : lint_cache;              (* shared across derived sessions *)
 }
 
 let start present =
   { initial = present; past = []; depth = 0; present; future = []; checkpoints = [];
-    events = []; ivm_cache = ref None; exec_cache = ref [] }
+    events = []; ivm_cache = ref None; exec_cache = ref []; lint_cache = ref Frag_map.empty }
 
 let current t = t.present
 
@@ -144,6 +153,29 @@ let query_plan t q =
           let gens = (qv, Query_map.singleton q plan) :: gens in
           t.exec_cache := List.filteri (fun i _ -> i < max_exec_generations) gens);
       Ok plan
+
+let c_lint_hit = Obs.Metric.counter "lint.cache.hit"
+let c_lint_miss = Obs.Metric.counter "lint.cache.miss"
+
+let lint_fragment t f =
+  let env = t.present.State.env in
+  let ctx = Lint.Passes.fragment_ctx env f in
+  match Frag_map.find_opt f !(t.lint_cache) with
+  | Some (ctx', ds) when Lint.Passes.equal_frag_ctx ctx ctx' ->
+      Obs.Metric.incr c_lint_hit;
+      ds
+  | Some _ | None ->
+      Obs.Metric.incr c_lint_miss;
+      let ds = Lint.Passes.fragment_diags env f in
+      t.lint_cache := Frag_map.add f (ctx, ds) !(t.lint_cache);
+      ds
+
+let lint ?(views = true) t =
+  let st = t.present in
+  let views =
+    if views then Some (st.State.query_views, st.State.update_views) else None
+  in
+  Lint.Analyze.run ?views ~fragment_diags:(lint_fragment t) st.State.env st.State.fragments
 
 let log t =
   let b = Buffer.create 256 in

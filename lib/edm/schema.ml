@@ -34,8 +34,21 @@ let ancestors t name =
   in
   up [] name
 
-let rec descendants t name =
-  List.concat_map (fun c -> c :: descendants t c) (children t name)
+(* One pass over the type map builds the child index, so walking a subtree is
+   O(types + subtree) rather than a full-map fold per node — this sits under
+   [subtypes] and therefore under every hierarchy-wide analysis. *)
+let descendants t name =
+  let by_parent = Hashtbl.create 16 in
+  M.iter
+    (fun _ (e : Entity_type.t) ->
+      match e.parent with Some p -> Hashtbl.add by_parent p e.name | None -> ())
+    t.ty;
+  (* [M.iter] visits keys in ascending order and [find_all] returns newest
+     first, so reversing restores the sorted order [children] guarantees. *)
+  let rec walk n =
+    List.concat_map (fun c -> c :: walk c) (List.rev (Hashtbl.find_all by_parent n))
+  in
+  walk name
 
 let subtypes t name = name :: descendants t name
 let is_subtype t ~sub ~sup = sub = sup || List.mem sup (ancestors t sub)

@@ -74,7 +74,7 @@ let cell_collision env key (cell : Cells.cell) =
                     fail
                       "fragments %s and %s write incompatible data to shared columns {%s} of the \
                        same cell"
-                      (Mapping.Fragment.show f) (Mapping.Fragment.show g)
+                      (Mapping.Fragment.describe f) (Mapping.Fragment.describe g)
                       (String.concat "," shared))
             rest
         in
@@ -190,19 +190,19 @@ let fk_obligations env frags uv =
               if not (List.exists writes fk.fk_columns) then Ok []
               else if not (List.for_all writes fk.fk_columns) then
                 fail "fragment %s writes foreign key %s(%s) only partially"
-                  (Mapping.Fragment.show g) table
+                  (Mapping.Fragment.describe g) table
                   (String.concat "," fk.fk_columns)
               else
                 match client_query_renamed g fk.fk_columns ~renaming with
                 | None -> fail "fragment %s cannot be checked against the foreign key"
-                            (Mapping.Fragment.show g)
+                            (Mapping.Fragment.describe g)
                 | Some lhs ->
                     Ok
                       [
                         Containment.Obligation.make
                           ~name:
                             (Printf.sprintf "fullc.fk:%s(%s)/%s" table
-                               (String.concat "," fk.fk_columns) (Mapping.Fragment.show g))
+                               (String.concat "," fk.fk_columns) (Mapping.Fragment.describe g))
                           ~env ~lhs ~rhs
                           ~on_fail:
                             (Printf.sprintf "update views may violate foreign key %s(%s) -> %s"

@@ -44,6 +44,19 @@ let pp fmt f =
 
 let show f = Format.asprintf "%a" pp f
 
+(* One-line identification for error messages and lint diagnostics, rendered
+   through the shared [Query.Pretty] condition formatter. *)
+let describe f =
+  let src = match f.client_source with Set s -> s | Assoc a -> a in
+  let part c =
+    match c with
+    | Query.Cond.True -> ""
+    | c -> Printf.sprintf "[%s]" (Query.Pretty.cond_string c)
+  in
+  Printf.sprintf "%s%s{%s} -> %s%s{%s}" src (part f.client_cond) (String.concat "," (attrs f))
+    f.table (part f.store_cond)
+    (String.concat "," (cols f))
+
 let holds env client store f =
   let db = { Query.Eval.client; store } in
   let left = Query.Eval.rows_set env db (client_query f) in

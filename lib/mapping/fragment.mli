@@ -21,6 +21,12 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit
 val show : t -> string
+
+val describe : t -> string
+(** One-line identification for error messages and diagnostics —
+    [Set[ψ]{α} -> table[χ]{β}], with both conditions rendered through
+    {!Query.Pretty.cond_string} (the renderer shared with [Fullc.Validate]
+    and [Lint]). *)
 val equal_client_source : client_source -> client_source -> bool
 
 val entity : set:string -> cond:Query.Cond.t -> table:string ->

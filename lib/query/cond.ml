@@ -140,6 +140,39 @@ let rec negate = function
   | Or (a, b) -> (
       match negate a, negate b with Some na, Some nb -> Some (And (na, nb)) | _ -> None)
 
+(* Pairwise unsatisfiability of two atoms under SQL semantics.  Sound, not
+   complete: [true] means no row satisfies both atoms.  A comparison against
+   [NULL] is never satisfied, so a pair containing such an atom is vacuously
+   contradictory.  [Is_of]-vs-[Is_of] pairs need hierarchy reasoning and are
+   left to callers that hold a schema (lint's type-aware passes). *)
+let atoms_contradict a b =
+  (* Can any x satisfy [x = v] and [x op w]?  [eval_cmp] is exactly that test
+     (and is false when [v] is NULL, i.e. [x = NULL] alone is unsatisfiable). *)
+  let eq_vs v op w = not (eval_cmp op v w) in
+  (* Bounds as (value, strict): [x < v] / [x <= v] against [x > w] / [x >= w]. *)
+  let bounds (hi, hi_strict) (lo, lo_strict) =
+    Datum.Value.is_null hi || Datum.Value.is_null lo
+    ||
+    let c = Datum.Value.compare hi lo in
+    c < 0 || (c = 0 && (hi_strict || lo_strict))
+  in
+  let upper = function Lt -> Some true | Le -> Some false | _ -> None in
+  let lower = function Gt -> Some true | Ge -> Some false | _ -> None in
+  match (a, b) with
+  | Is_null x, Is_not_null y | Is_not_null x, Is_null y -> x = y
+  | Is_null x, Cmp (y, _, _) | Cmp (y, _, _), Is_null x -> x = y
+  | Is_of_only x, Is_of_only y -> x <> y
+  | Cmp (x, Eq, v), Cmp (y, op, w) when x = y && op <> Eq -> eq_vs v op w
+  | Cmp (x, op, w), Cmp (y, Eq, v) when x = y && op <> Eq -> eq_vs v op w
+  | Cmp (x, Eq, v), Cmp (y, Eq, w) when x = y ->
+      Datum.Value.is_null v || Datum.Value.is_null w || Datum.Value.compare v w <> 0
+  | Cmp (x, op1, v), Cmp (y, op2, w) when x = y -> (
+      match (upper op1, lower op2, upper op2, lower op1) with
+      | Some s1, Some s2, _, _ -> bounds (v, s1) (w, s2)
+      | _, _, Some s2, Some s1 -> bounds (w, s2) (v, s1)
+      | _ -> false)
+  | _ -> false
+
 let negate_type_test schema ~set_root c =
   let all = Edm.Schema.subtypes schema set_root in
   let complement keep =

@@ -63,6 +63,15 @@ val dnf : t -> t list list
     Worst-case exponential, deliberately so: this is the cost the paper
     attributes to containment checking. *)
 
+val atoms_contradict : t -> t -> bool
+(** Whether two atoms are jointly unsatisfiable under SQL semantics:
+    [A = c] against [A θ c'] excluding [c], [A IS NULL] against any
+    comparison or [A IS NOT NULL], crossed range bounds, distinct
+    [IS OF (ONLY _)] tests, and comparisons against a [NULL] literal (never
+    satisfied on their own).  Sound but not complete; [Is_of] pairs need the
+    hierarchy and are left to schema-holding callers.  Non-atoms are never
+    reported contradictory. *)
+
 val negate : t -> t option
 (** SQL-faithful row-level complement, when expressible without type
     reasoning: comparisons flip and pick up an [IS NULL] disjunct, null

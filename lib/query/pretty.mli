@@ -7,5 +7,19 @@ val view : Format.formatter -> View.t -> unit
 val query_string : Algebra.t -> string
 val view_string : View.t -> string
 
+(** {1 Compact single-line renderers}
+
+    The shared condition and algebra formatters behind every human-facing
+    message: [Fullc.Validate] errors and [Lint] diagnostics both render
+    through these instead of ad-hoc formatters. *)
+
+val cond : Format.formatter -> Cond.t -> unit
+val cond_string : Cond.t -> string
+
+val compact_query : Format.formatter -> Algebra.t -> unit
+(** One-line π/σ algebra rendering (no derived-table aliases). *)
+
+val compact_query_string : Algebra.t -> string
+
 val query_views : Format.formatter -> View.query_views -> unit
 val update_views : Format.formatter -> View.update_views -> unit

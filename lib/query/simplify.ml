@@ -1,3 +1,52 @@
+(* -- condition cleanup ---------------------------------------------------- *)
+
+let rec conjuncts = function Cond.And (a, b) -> conjuncts a @ conjuncts b | c -> [ c ]
+
+let is_atom = function
+  | Cond.True | Cond.False | Cond.And _ | Cond.Or _ -> false
+  | Cond.Is_of _ | Cond.Is_of_only _ | Cond.Is_null _ | Cond.Is_not_null _ | Cond.Cmp _ -> true
+
+(* A lone comparison against NULL is never satisfied. *)
+let unsat_atom = function
+  | Cond.Cmp (_, _, v) -> Datum.Value.is_null v
+  | _ -> false
+
+let rec exists_pair p = function
+  | [] -> false
+  | x :: rest -> List.exists (p x) rest || exists_pair p rest
+
+(* Fold conjunctions whose atomic conjuncts are jointly unsatisfiable
+   ([A = c AND A = c'], [A IS NULL AND A > 3], crossed bounds, ...) to
+   [False].  Subtrees without a contradiction are returned unchanged, so the
+   rewrite never perturbs already-clean views.  The quadratic pairwise scan
+   runs once per maximal [And] chain (a contradiction inside a sub-chain is
+   also one of the whole chain), keeping long compiled-view guards cheap. *)
+let rec fold_contradictions ~top c =
+  match c with
+  | Cond.And (a, b) ->
+      let a' = fold_contradictions ~top:false a and b' = fold_contradictions ~top:false b in
+      if a' = Cond.False || b' = Cond.False then Cond.False
+      else
+        let c' = Cond.And (a', b') in
+        if
+          top
+          &&
+          let atoms = List.filter is_atom (conjuncts c') in
+          List.exists unsat_atom atoms || exists_pair Cond.atoms_contradict atoms
+        then Cond.False
+        else c'
+  | Cond.Or (a, b) -> (
+      match (fold_contradictions ~top:true a, fold_contradictions ~top:true b) with
+      | Cond.False, x | x, Cond.False -> x
+      | x, y -> Cond.Or (x, y))
+  | c -> if is_atom c && unsat_atom c then Cond.False else c
+
+let cond c =
+  let c = Cond.simplify c in
+  match fold_contradictions ~top:true c with
+  | c' when Cond.equal c c' -> c
+  | c' -> Cond.simplify c'
+
 (* Compose two projection layers: the outer items re-expressed directly over
    the input of the inner items. *)
 let compose_projections outer inner =
@@ -37,11 +86,11 @@ let rec query env q =
   | Algebra.Scan _ -> q
   | Algebra.Select (c, q1) -> (
       let q1 = query env q1 in
-      match Cond.simplify c with
+      match cond c with
       | Cond.True -> q1
       | c -> (
           match q1 with
-          | Algebra.Select (c2, q2) -> Algebra.Select (Cond.simplify (Cond.And (c, c2)), q2)
+          | Algebra.Select (c2, q2) -> Algebra.Select (cond (Cond.And (c, c2)), q2)
           | _ -> Algebra.Select (c, q1)))
   | Algebra.Project (items, q1) -> (
       let q1 = query env q1 in
@@ -57,7 +106,7 @@ let rec query env q =
   | Algebra.Union_all (l, r) -> Algebra.Union_all (query env l, query env r)
 
 let view env (v : View.t) =
-  { View.query = query env v.View.query; ctor = Ctor.map_conditions Cond.simplify v.View.ctor }
+  { View.query = query env v.View.query; ctor = Ctor.map_conditions cond v.View.ctor }
 
 let query_views env (qv : View.query_views) =
   List.fold_left

@@ -9,6 +9,13 @@
     Deeper, constraint-driven rewrites (full outer join to left outer join or
     UNION ALL) are the full compiler's job; see [Fullc.Query_views]. *)
 
+val cond : Cond.t -> Cond.t
+(** {!Cond.simplify} plus local satisfiability: conjunctions with jointly
+    unsatisfiable atomic conjuncts ([A = c AND A = c'] with [c <> c'],
+    [A IS NULL AND A > 3], crossed range bounds — see
+    {!Cond.atoms_contradict}) and lone comparisons against [NULL] fold to
+    [False].  Conditions without a contradiction come back unchanged. *)
+
 val query : Env.t -> Algebra.t -> Algebra.t
 val view : Env.t -> View.t -> View.t
 (** Simplify the query and the constructor's branch conditions. *)

@@ -73,6 +73,37 @@ let test_well_formed_negatives () =
   in
   check_error "association mapped twice" (Mapping.Fragments.well_formed env dup_assoc)
 
+(* Attribute coverage by constant-only-projection fragments: neither fragment
+   projects Flag, but each client condition fixes it to a constant, so the
+   pair covers the attribute exactly when the conditions exhaust its domain. *)
+let test_constant_only_coverage () =
+  let env_of ~non_null =
+    let item =
+      Edm.Entity_type.root ~name:"Item" ~key:[ "Id" ]
+        ~non_null:(if non_null then [ "Flag" ] else [])
+        [ ("Id", D.Int); ("Flag", D.Bool) ]
+    in
+    let client = ok_exn (Edm.Schema.add_root ~set:"Items" item Edm.Schema.empty) in
+    let table n = Relational.Table.make ~name:n ~key:[ "Id" ] [ ("Id", D.Int, `Not_null) ] in
+    let store =
+      ok_exn (Relational.Schema.add_table (table "Toggled")
+                (ok_exn (Relational.Schema.add_table (table "Plain") Relational.Schema.empty)))
+    in
+    Query.Env.make ~client ~store
+  in
+  let frags =
+    Mapping.Fragments.of_list
+      [ F.entity ~set:"Items" ~cond:(C.Cmp ("Flag", C.Eq, V.Bool true)) ~table:"Toggled"
+          [ ("Id", "Id") ];
+        F.entity ~set:"Items" ~cond:(C.Cmp ("Flag", C.Eq, V.Bool false)) ~table:"Plain"
+          [ ("Id", "Id") ] ]
+  in
+  check_ok "NOT NULL Bool: true/false conditions cover Flag"
+    (Mapping.Coverage.attribute_coverage (env_of ~non_null:true) frags ~etype:"Item");
+  (* A nullable Flag can be NULL, which neither condition selects. *)
+  check_error "nullable Flag escapes both fragments"
+    (Mapping.Coverage.attribute_coverage (env_of ~non_null:false) frags ~etype:"Item")
+
 let test_collection_ops () =
   let s = P.stage4.P.fragments in
   check Alcotest.int "size" 4 (Mapping.Fragments.size s);
@@ -136,6 +167,7 @@ let () =
           Alcotest.test_case "equations fail on skew" `Quick test_fragment_fails_on_skew;
           Alcotest.test_case "well-formed" `Quick test_well_formed;
           Alcotest.test_case "well-formed negatives" `Quick test_well_formed_negatives;
+          Alcotest.test_case "constant-only coverage" `Quick test_constant_only_coverage;
         ] );
       ( "fragments",
         [ Alcotest.test_case "collection ops" `Quick test_collection_ops;

@@ -184,6 +184,30 @@ let test_simplify_queries () =
     (A.equal (Query.Simplify.query env (A.project_cols [ "Id"; "Dept" ] (A.Scan (A.Table "Emp"))))
        (A.Scan (A.Table "Emp")))
 
+(* Contradiction folding: jointly unsatisfiable conjuncts collapse the whole
+   conjunction to FALSE (which the lint passes use to spot dead conditions). *)
+let test_simplify_contradictions () =
+  let eq a n = C.Cmp (a, C.Eq, V.Int n) in
+  let folds c = C.equal (Query.Simplify.cond c) C.False in
+  checkb "clashing equalities" true (folds (C.And (eq "Id" 1, eq "Id" 2)));
+  checkb "IS NULL vs comparison" true (folds (C.And (C.Is_null "Id", eq "Id" 1)));
+  checkb "crossed range bounds" true
+    (folds (C.And (C.Cmp ("Id", C.Lt, V.Int 0), C.Cmp ("Id", C.Ge, V.Int 10))));
+  checkb "lone comparison against NULL" true (folds (C.Cmp ("Id", C.Eq, V.Null)));
+  checkb "contradiction deep in a conjunction" true
+    (folds (C.And (eq "Id" 1, C.And (C.Cmp ("Name", C.Eq, V.String "a"), eq "Id" 2))));
+  checkb "contradictory disjunct dropped" true
+    (C.equal (Query.Simplify.cond (C.Or (C.And (eq "Id" 1, eq "Id" 2), eq "Id" 3))) (eq "Id" 3));
+  let clean = C.And (eq "Id" 1, C.Cmp ("Name", C.Eq, V.String "a")) in
+  checkb "satisfiable condition unchanged" true (C.equal (Query.Simplify.cond clean) clean)
+
+let prop_simplify_cond_equivalent =
+  qtest "contradiction folding preserves evaluation" ~count:300
+    QCheck.(pair arb_cond arb_client_instance)
+    (fun (c, inst) ->
+      let s = Query.Simplify.cond c in
+      List.for_all (fun r -> C.eval client r c = C.eval client r s) (rows_of_instance inst))
+
 (* -- pretty --------------------------------------------------------------- *)
 
 let test_pretty () =
@@ -233,6 +257,29 @@ let test_ctor_guard () =
   check Alcotest.(list string) "types constructed" [ "Customer"; "Employee"; "Person" ]
     (Query.Ctor.types_constructed sample_ctor)
 
+(* [branches] complements the else-guards as it descends, so a CASE chain
+   whose final else can never be reached carries a guard that folds to FALSE
+   under {!Query.Simplify.cond} — how the linter detects dead branches. *)
+let test_ctor_dead_final_else () =
+  let leaf n = Query.Ctor.Entity { etype = n; attrs = [ "Id" ] } in
+  let chain =
+    Query.Ctor.If
+      (C.Is_null "x", leaf "A", Query.Ctor.If (C.Is_not_null "x", leaf "B", leaf "C"))
+  in
+  match Query.Ctor.branches chain with
+  | None -> Alcotest.fail "all guards are negatable"
+  | Some bs -> (
+      check Alcotest.int "three branches" 3 (List.length bs);
+      let dead g = C.equal (Query.Simplify.cond g) C.False in
+      match bs with
+      | [ Some (g1, l1); Some (g2, _); Some (g3, l3) ] ->
+          checkb "then branch first" true (Query.Ctor.equal l1 (leaf "A"));
+          checkb "first guard live" false (dead g1);
+          checkb "second guard live" false (dead g2);
+          checkb "final else leaf last" true (Query.Ctor.equal l3 (leaf "C"));
+          checkb "final else guard is dead" true (dead g3)
+      | _ -> Alcotest.fail "unexpected branch shape")
+
 (* Unfolding a type test over a projection that dropped the provenance
    machinery must fail with the type-erasing diagnostic, not silently
    produce a wrong store query. *)
@@ -275,7 +322,11 @@ let () =
           Alcotest.test_case "helpers" `Quick test_cond_helpers;
         ] );
       ( "simplify",
-        [ Alcotest.test_case "semantics preserved" `Quick test_simplify_queries ] );
+        [
+          Alcotest.test_case "semantics preserved" `Quick test_simplify_queries;
+          Alcotest.test_case "contradiction folding" `Quick test_simplify_contradictions;
+          prop_simplify_cond_equivalent;
+        ] );
       ( "pretty", [ Alcotest.test_case "rendering" `Quick test_pretty ] );
       ( "unfold",
         [ Alcotest.test_case "type test above a type-erasing projection" `Quick
@@ -284,5 +335,6 @@ let () =
         [
           Alcotest.test_case "evaluation" `Quick test_ctor_eval;
           Alcotest.test_case "guards" `Quick test_ctor_guard;
+          Alcotest.test_case "dead final else" `Quick test_ctor_dead_final_else;
         ] );
     ]
